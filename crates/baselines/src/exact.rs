@@ -1,0 +1,371 @@
+//! Exact solvers for small instances — the ground truth behind the
+//! approximation-ratio columns of experiments E1–E3.
+//!
+//! Both problems are NP-hard, so these are exponential branch-and-bound
+//! searches intended for `n ≲ 60` with small `k`:
+//!
+//! * **k-center**: binary search over the O(n²) candidate radii; a radius
+//!   is feasible iff a depth-k branching (choose an uncovered point, try
+//!   every center that covers it) succeeds.
+//! * **k-diversity**: binary search over candidate distances; a distance
+//!   `d` is achievable iff the graph with edges `dist < d` has an
+//!   independent set of size k (branch and bound with a remaining-vertex
+//!   pruning rule).
+
+use mpc_metric::{dist_point_to_set, MetricSpace, PointId};
+
+/// Exact optimal k-center. Returns `(radius, centers)` with
+/// `|centers| ≤ k`. Exponential in `k`; intended for small instances.
+pub fn exact_kcenter<M: MetricSpace + ?Sized>(metric: &M, k: usize) -> (f64, Vec<PointId>) {
+    assert!(k >= 1);
+    let n = metric.n();
+    let all: Vec<PointId> = (0..n as u32).map(PointId).collect();
+    if n <= k {
+        return (0.0, all);
+    }
+    let mut cands = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            cands.push(metric.dist(PointId(i), PointId(j)));
+        }
+    }
+    cands.push(0.0); // duplicate-only inputs can be covered at radius 0
+    cands.sort_unstable_by(f64::total_cmp);
+    cands.dedup();
+
+    let feasible = |r: f64| -> Option<Vec<PointId>> {
+        let mut centers = Vec::with_capacity(k);
+        if cover_branch(metric, &all, r, k, &mut centers) {
+            Some(centers)
+        } else {
+            None
+        }
+    };
+
+    // Binary search the smallest feasible candidate radius.
+    let mut lo = 0usize;
+    let mut hi = cands.len() - 1;
+    debug_assert!(
+        feasible(cands[hi]).is_some(),
+        "max distance always feasible for k >= 1"
+    );
+    if let Some(c) = feasible(cands[lo]) {
+        return (cands[lo], c);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(cands[mid]).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let centers = feasible(cands[hi]).expect("hi feasible by invariant");
+    (cands[hi], centers)
+}
+
+/// Depth-first cover search: find ≤ `k` centers covering every point
+/// within `r`.
+fn cover_branch<M: MetricSpace + ?Sized>(
+    metric: &M,
+    all: &[PointId],
+    r: f64,
+    k: usize,
+    centers: &mut Vec<PointId>,
+) -> bool {
+    // First uncovered point (deterministic: lowest id).
+    let uncovered = all
+        .iter()
+        .find(|&&p| dist_point_to_set(metric, p, centers) > r);
+    let Some(&p) = uncovered else {
+        return true;
+    };
+    if centers.len() == k {
+        return false;
+    }
+    // Any point within r of p is a candidate center for p.
+    for &c in all {
+        if metric.dist(p, c) <= r {
+            centers.push(c);
+            if cover_branch(metric, all, r, k, centers) {
+                return true;
+            }
+            centers.pop();
+        }
+    }
+    false
+}
+
+/// Exact optimal k-diversity. Returns `(diversity, subset)` with
+/// `|subset| = min(k, n)`. Exponential; intended for small instances.
+pub fn exact_diversity<M: MetricSpace + ?Sized>(metric: &M, k: usize) -> (f64, Vec<PointId>) {
+    assert!(k >= 2, "diversity needs k >= 2");
+    let n = metric.n();
+    let all: Vec<PointId> = (0..n as u32).map(PointId).collect();
+    if n <= k {
+        let div = mpc_metric::min_pairwise_distance(metric, &all);
+        return (div, all);
+    }
+    let mut cands = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            cands.push(metric.dist(PointId(i), PointId(j)));
+        }
+    }
+    cands.sort_unstable_by(f64::total_cmp);
+    cands.dedup();
+
+    // predicate(d): exists a k-subset with min pairwise distance >= d.
+    let feasible = |d: f64| -> Option<Vec<PointId>> {
+        let mut chosen = Vec::with_capacity(k);
+        if spread_branch(metric, &all, d, k, 0, &mut chosen) {
+            Some(chosen)
+        } else {
+            None
+        }
+    };
+
+    // Monotone decreasing in d: find the largest feasible candidate.
+    let mut lo = 0usize; // smallest distance: always feasible (min pairwise)
+    let mut hi = cands.len() - 1;
+    debug_assert!(feasible(cands[lo]).is_some());
+    if let Some(s) = feasible(cands[hi]) {
+        return (cands[hi], s);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(cands[mid]).is_some() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let subset = feasible(cands[lo]).expect("lo feasible by invariant");
+    (cands[lo], subset)
+}
+
+/// Depth-first search for `k` points with pairwise distance ≥ `d`,
+/// scanning ids in order with a counting prune.
+fn spread_branch<M: MetricSpace + ?Sized>(
+    metric: &M,
+    all: &[PointId],
+    d: f64,
+    k: usize,
+    start: usize,
+    chosen: &mut Vec<PointId>,
+) -> bool {
+    if chosen.len() == k {
+        return true;
+    }
+    // Prune: not enough vertices left to complete the subset.
+    if all.len() - start < k - chosen.len() {
+        return false;
+    }
+    for i in start..all.len() {
+        let p = all[i];
+        if chosen.iter().all(|&q| metric.dist(p, q) >= d) {
+            chosen.push(p);
+            if spread_branch(metric, all, d, k, i + 1, chosen) {
+                return true;
+            }
+            chosen.pop();
+        }
+        // Re-check the counting prune as we consume the suffix.
+        if all.len() - i - 1 < k - chosen.len() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Exact optimal k-supplier: `(radius, suppliers)` covering every customer.
+/// Exponential in `k`; intended for small instances.
+pub fn exact_ksupplier<M: MetricSpace + ?Sized>(
+    metric: &M,
+    customers: &[u32],
+    suppliers: &[u32],
+    k: usize,
+) -> (f64, Vec<PointId>) {
+    assert!(k >= 1 && !customers.is_empty() && !suppliers.is_empty());
+    let cust: Vec<PointId> = customers.iter().map(|&c| PointId(c)).collect();
+    let supp: Vec<PointId> = suppliers.iter().map(|&s| PointId(s)).collect();
+
+    // Candidate radii: customer-supplier distances.
+    let mut cands = Vec::with_capacity(cust.len() * supp.len());
+    for &c in &cust {
+        for &s in &supp {
+            cands.push(metric.dist(c, s));
+        }
+    }
+    cands.sort_unstable_by(f64::total_cmp);
+    cands.dedup();
+
+    fn cover<M: MetricSpace + ?Sized>(
+        metric: &M,
+        cust: &[PointId],
+        supp: &[PointId],
+        r: f64,
+        k: usize,
+        chosen: &mut Vec<PointId>,
+    ) -> bool {
+        let uncovered = cust
+            .iter()
+            .find(|&&c| dist_point_to_set(metric, c, chosen) > r);
+        let Some(&c) = uncovered else { return true };
+        if chosen.len() == k {
+            return false;
+        }
+        for &s in supp {
+            if metric.dist(c, s) <= r {
+                chosen.push(s);
+                if cover(metric, cust, supp, r, k, chosen) {
+                    return true;
+                }
+                chosen.pop();
+            }
+        }
+        false
+    }
+
+    let feasible = |r: f64| -> Option<Vec<PointId>> {
+        let mut chosen = Vec::with_capacity(k);
+        cover(metric, &cust, &supp, r, k, &mut chosen).then_some(chosen)
+    };
+
+    let mut lo = 0usize;
+    let mut hi = cands.len() - 1;
+    assert!(
+        feasible(cands[hi]).is_some(),
+        "even the largest customer-supplier distance cannot cover: impossible"
+    );
+    if let Some(s) = feasible(cands[lo]) {
+        return (cands[lo], s);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(cands[mid]).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let chosen = feasible(cands[hi]).expect("hi feasible by invariant");
+    (cands[hi], chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_metric::{datasets, min_pairwise_distance, EuclideanSpace, PointSet};
+
+    fn line(xs: &[f64]) -> EuclideanSpace {
+        EuclideanSpace::new(PointSet::from_rows(
+            &xs.iter().map(|&x| vec![x]).collect::<Vec<_>>(),
+        ))
+    }
+
+    #[test]
+    fn kcenter_on_line_is_exact() {
+        // Points 0, 1, 2, 10, 11, 12: k=2 optimal radius 1 (centers 1, 11).
+        let metric = line(&[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        let (r, centers) = exact_kcenter(&metric, 2);
+        assert_eq!(r, 1.0);
+        assert_eq!(centers.len(), 2);
+    }
+
+    #[test]
+    fn kcenter_radius_zero_for_duplicates() {
+        let metric = line(&[5.0, 5.0, 5.0]);
+        let (r, _) = exact_kcenter(&metric, 1);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn kcenter_is_lower_bound_for_approximations() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(25, 2, 3));
+        for k in [2, 3] {
+            let (opt, _) = exact_kcenter(&metric, k);
+            let gmm = mpc_core::kcenter::sequential_gmm_kcenter(&metric, k);
+            let hs = crate::hochbaum_shmoys::hochbaum_shmoys_kcenter(&metric, k);
+            assert!(gmm.radius >= opt - 1e-9, "k={k}");
+            assert!(hs.radius >= opt - 1e-9, "k={k}");
+            assert!(gmm.radius <= 2.0 * opt + 1e-9, "GMM 2-approx, k={k}");
+            assert!(hs.radius <= 2.0 * opt + 1e-9, "HS 2-approx, k={k}");
+        }
+    }
+
+    #[test]
+    fn diversity_on_line_is_exact() {
+        // Points 0, 1, 5, 6, 10: k=3 optimal diversity is 5 ({0, 5, 10}).
+        let metric = line(&[0.0, 1.0, 5.0, 6.0, 10.0]);
+        let (d, subset) = exact_diversity(&metric, 3);
+        assert_eq!(d, 5.0);
+        assert_eq!(subset.len(), 3);
+        assert_eq!(min_pairwise_distance(&metric, &subset), 5.0);
+    }
+
+    #[test]
+    fn diversity_is_upper_bound_for_approximations() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(22, 2, 5));
+        for k in [3, 4] {
+            let (opt, _) = exact_diversity(&metric, k);
+            let gmm = mpc_core::diversity::sequential_gmm_diversity(&metric, k);
+            assert!(gmm.diversity <= opt + 1e-9, "k={k}");
+            assert!(gmm.diversity >= opt / 2.0 - 1e-9, "GMM 2-approx, k={k}");
+        }
+    }
+
+    #[test]
+    fn diversity_with_n_le_k_returns_all() {
+        let metric = line(&[0.0, 3.0]);
+        let (d, subset) = exact_diversity(&metric, 5);
+        assert_eq!(subset.len(), 2);
+        assert_eq!(d, 3.0);
+    }
+
+    #[test]
+    fn ksupplier_on_line_is_exact() {
+        // Customers at 0 and 10; suppliers at 1, 5, 9. k = 2: pick 1 and 9
+        // for radius 1; k = 1: supplier 5 at radius 5.
+        let metric = line(&[0.0, 10.0, 1.0, 5.0, 9.0]);
+        let (r2, s2) = exact_ksupplier(&metric, &[0, 1], &[2, 3, 4], 2);
+        assert_eq!(r2, 1.0);
+        assert_eq!(s2.len(), 2);
+        let (r1, _) = exact_ksupplier(&metric, &[0, 1], &[2, 3, 4], 1);
+        assert_eq!(r1, 5.0);
+    }
+
+    #[test]
+    fn ksupplier_lower_bounds_the_mpc_algorithm() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(24, 2, 9));
+        let customers: Vec<u32> = (0..16).collect();
+        let suppliers: Vec<u32> = (16..24).collect();
+        let (opt, _) = exact_ksupplier(&metric, &customers, &suppliers, 3);
+        let params = mpc_core::Params::practical(2, 0.2, 9);
+        let res = mpc_core::ksupplier::mpc_ksupplier(&metric, &customers, &suppliers, 3, &params);
+        assert!(res.radius >= opt - 1e-9);
+        assert!(
+            res.radius <= 3.0 * (1.0 + 0.2) * opt + 1e-9,
+            "(3+eps) guarantee: {} vs opt {opt}",
+            res.radius
+        );
+    }
+
+    #[test]
+    fn grid_kcenter_known_value() {
+        // 3x3 unit grid with k = 1: optimal center is the middle, radius
+        // sqrt(2).
+        let metric = EuclideanSpace::new(datasets::grid(3));
+        let (r, centers) = exact_kcenter(&metric, 1);
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-9);
+        assert_eq!(centers.len(), 1);
+    }
+
+    #[test]
+    fn grid_diversity_known_value() {
+        // 3x3 unit grid, k = 4: corners give diversity 2.
+        let metric = EuclideanSpace::new(datasets::grid(3));
+        let (d, _) = exact_diversity(&metric, 4);
+        assert_eq!(d, 2.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Hochbaum–Shmoys (1986) sequential 2-approximation for k-center via
+//! parametric pruning: binary-search the candidate radii; for each guess
+//! `r`, a greedy maximal independent set of the graph `G_{2r}` needs at
+//! most `k` vertices iff `r` is (up to factor 2) feasible.
+//!
+//! This is the strongest *sequential* polynomial baseline (factor 2 is
+//! optimal unless P = NP), used as the large-instance quality reference in
+//! experiment E2.
+
+use mpc_graph::{mis::greedy_mis, ThresholdGraph};
+use mpc_metric::{dist_point_to_set, MetricSpace, PointId};
+
+/// Result of [`hochbaum_shmoys_kcenter`].
+#[derive(Debug, Clone)]
+pub struct HsResult {
+    /// At most `k` centers.
+    pub centers: Vec<PointId>,
+    /// Realized covering radius `r(V, centers)`.
+    pub radius: f64,
+}
+
+/// Runs the Hochbaum–Shmoys 2-approximation. `O(n² log n)` time.
+pub fn hochbaum_shmoys_kcenter<M: MetricSpace + ?Sized>(metric: &M, k: usize) -> HsResult {
+    assert!(k >= 1, "k must be positive");
+    let n = metric.n();
+    let all: Vec<u32> = (0..n as u32).collect();
+    if n <= k {
+        return HsResult {
+            centers: all.iter().map(|&v| PointId(v)).collect(),
+            radius: 0.0,
+        };
+    }
+
+    // Candidate radii: all pairwise distances (the optimum is one of them).
+    let mut cands = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            cands.push(metric.dist(PointId(i), PointId(j)));
+        }
+    }
+    cands.sort_unstable_by(f64::total_cmp);
+    cands.dedup();
+
+    // Smallest candidate r whose G_{2r} greedy MIS has <= k vertices: that
+    // MIS is a k-center solution of radius 2r <= 2 r*.
+    let feasible = |r: f64| -> Option<Vec<u32>> {
+        let g = ThresholdGraph::new(metric, 2.0 * r);
+        let mis = greedy_mis(&g, &all);
+        (mis.len() <= k).then_some(mis)
+    };
+
+    let mut lo = 0usize;
+    let mut hi = cands.len() - 1; // max distance: MIS of G_{2max} is 1 vertex <= k
+    debug_assert!(feasible(cands[hi]).is_some());
+    if let Some(mis) = feasible(cands[0]) {
+        let centers: Vec<PointId> = mis.iter().map(|&v| PointId(v)).collect();
+        let radius = realized(metric, &centers);
+        return HsResult { centers, radius };
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(cands[mid]).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let mis = feasible(cands[hi]).expect("hi is feasible by invariant");
+    let centers: Vec<PointId> = mis.iter().map(|&v| PointId(v)).collect();
+    let radius = realized(metric, &centers);
+    HsResult { centers, radius }
+}
+
+fn realized<M: MetricSpace + ?Sized>(metric: &M, centers: &[PointId]) -> f64 {
+    (0..metric.n() as u32)
+        .map(|v| dist_point_to_set(metric, PointId(v), centers))
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_metric::{datasets, EuclideanSpace, PointSet};
+
+    #[test]
+    fn two_tight_clusters_need_tiny_radius() {
+        // Two clusters at distance 10 with radius 0.1: k=2 optimal ~0.1.
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            rows.push(vec![10.0 + 0.01 * i as f64, 0.0]);
+        }
+        let metric = EuclideanSpace::new(PointSet::from_rows(&rows));
+        let res = hochbaum_shmoys_kcenter(&metric, 2);
+        assert!(res.centers.len() <= 2);
+        assert!(
+            res.radius <= 0.2,
+            "radius {} should be cluster-scale",
+            res.radius
+        );
+    }
+
+    #[test]
+    fn within_factor_two_of_gmm_reference() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(150, 2, 5));
+        for k in [1, 3, 8] {
+            let hs = hochbaum_shmoys_kcenter(&metric, k);
+            let gmm = mpc_core::kcenter::sequential_gmm_kcenter(&metric, k);
+            // Both are 2-approximations: each is within 2x of the optimum,
+            // hence within 4x of each other — sanity band.
+            assert!(hs.radius <= 2.0 * gmm.radius + 1e-9, "k={k}");
+            assert!(gmm.radius <= 2.0 * hs.radius + 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn n_le_k_is_exact() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(5, 2, 1));
+        let res = hochbaum_shmoys_kcenter(&metric, 10);
+        assert_eq!(res.centers.len(), 5);
+        assert_eq!(res.radius, 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_fine() {
+        let metric = EuclideanSpace::new(PointSet::from_rows(&[vec![1.0], vec![1.0], vec![2.0]]));
+        let res = hochbaum_shmoys_kcenter(&metric, 1);
+        assert!(res.radius <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Charikar et al. (SODA 2001): 3-approximation for k-center with `z`
+//! outliers — the noise-robust variant the paper's related-work section
+//! cites. Sequential; used as an evaluation extension.
+//!
+//! For a guessed radius `r`, greedily pick the disk of radius `r` covering
+//! the most uncovered points and mark everything within `3r` of its center
+//! covered; after `k` picks, feasibility means ≤ `z` points remain. The
+//! smallest feasible guess among the pairwise distances gives radius
+//! ≤ 3 r*(z).
+
+use mpc_metric::{MetricSpace, PointId};
+
+/// Result of [`charikar_outliers_kcenter`].
+#[derive(Debug, Clone)]
+pub struct OutlierResult {
+    /// The k centers.
+    pub centers: Vec<PointId>,
+    /// Radius covering all but at most `z` points.
+    pub radius: f64,
+    /// The points left uncovered (≤ z).
+    pub outliers: Vec<PointId>,
+}
+
+/// Runs the greedy-disk 3-approximation for k-center with `z` outliers.
+/// `O(n² log n · k)` time; intended for moderate `n`.
+pub fn charikar_outliers_kcenter<M: MetricSpace + ?Sized>(
+    metric: &M,
+    k: usize,
+    z: usize,
+) -> OutlierResult {
+    assert!(k >= 1);
+    let n = metric.n();
+    if n <= k {
+        return OutlierResult {
+            centers: (0..n as u32).map(PointId).collect(),
+            radius: 0.0,
+            outliers: Vec::new(),
+        };
+    }
+    let mut cands = vec![0.0f64];
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            cands.push(metric.dist(PointId(i), PointId(j)));
+        }
+    }
+    cands.sort_unstable_by(f64::total_cmp);
+    cands.dedup();
+
+    let attempt = |r: f64| -> Option<(Vec<PointId>, Vec<PointId>)> {
+        let mut covered = vec![false; n];
+        let mut centers = Vec::with_capacity(k);
+        for _ in 0..k {
+            // Disk of radius r covering the most uncovered points.
+            let mut best = (usize::MAX, 0usize);
+            for c in 0..n as u32 {
+                let gain = (0..n as u32)
+                    .filter(|&u| !covered[u as usize] && metric.dist(PointId(u), PointId(c)) <= r)
+                    .count();
+                if best.0 == usize::MAX || gain > best.1 {
+                    best = (c as usize, gain);
+                }
+            }
+            let c = best.0 as u32;
+            centers.push(PointId(c));
+            // Expansion step: mark everything within 3r covered.
+            for u in 0..n as u32 {
+                if metric.dist(PointId(u), PointId(c)) <= 3.0 * r {
+                    covered[u as usize] = true;
+                }
+            }
+        }
+        let outliers: Vec<PointId> = (0..n as u32)
+            .filter(|&u| !covered[u as usize])
+            .map(PointId)
+            .collect();
+        (outliers.len() <= z).then_some((centers, outliers))
+    };
+
+    let mut lo = 0usize;
+    let mut hi = cands.len() - 1;
+    debug_assert!(attempt(cands[hi]).is_some());
+    if let Some((centers, outliers)) = attempt(cands[lo]) {
+        return OutlierResult {
+            centers,
+            radius: 3.0 * cands[lo],
+            outliers,
+        };
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if attempt(cands[mid]).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let (centers, outliers) = attempt(cands[hi]).expect("hi feasible by invariant");
+    OutlierResult {
+        centers,
+        radius: 3.0 * cands[hi],
+        outliers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_metric::{dist_point_to_set, EuclideanSpace, PointSet};
+
+    /// Two tight clusters plus two far-away junk points.
+    fn noisy_instance() -> EuclideanSpace {
+        let mut rows = Vec::new();
+        for i in 0..8 {
+            rows.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            rows.push(vec![5.0 + 0.01 * i as f64, 0.0]);
+        }
+        rows.push(vec![100.0, 100.0]);
+        rows.push(vec![-100.0, 50.0]);
+        EuclideanSpace::new(PointSet::from_rows(&rows))
+    }
+
+    #[test]
+    fn outliers_absorb_the_noise() {
+        let metric = noisy_instance();
+        let with = charikar_outliers_kcenter(&metric, 2, 2);
+        let without = charikar_outliers_kcenter(&metric, 2, 0);
+        assert!(with.outliers.len() <= 2);
+        assert!(
+            with.radius < without.radius / 10.0,
+            "ignoring 2 outliers must collapse the radius: {} vs {}",
+            with.radius,
+            without.radius
+        );
+    }
+
+    #[test]
+    fn covered_points_respect_radius() {
+        let metric = noisy_instance();
+        let res = charikar_outliers_kcenter(&metric, 2, 2);
+        for u in 0..metric.n() as u32 {
+            let p = PointId(u);
+            if !res.outliers.contains(&p) {
+                assert!(dist_point_to_set(&metric, p, &res.centers) <= res.radius + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_outliers_matches_plain_kcenter_band() {
+        let metric = noisy_instance();
+        let res = charikar_outliers_kcenter(&metric, 3, 0);
+        let (opt, _) = crate::exact::exact_kcenter(&metric, 3);
+        assert!(res.radius >= opt - 1e-9);
+        assert!(res.radius <= 3.0 * opt + 1e-9, "3-approximation bound");
+    }
+
+    #[test]
+    fn n_le_k_trivial() {
+        let metric = EuclideanSpace::new(PointSet::from_rows(&[vec![0.0], vec![1.0]]));
+        let res = charikar_outliers_kcenter(&metric, 5, 0);
+        assert_eq!(res.centers.len(), 2);
+        assert_eq!(res.radius, 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Uniformly random k-subset — the sanity floor for the quality tables:
+//! any algorithm that cannot beat random selection is broken.
+
+use mpc_metric::{dist_point_to_set, min_pairwise_distance, MetricSpace, PointId};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Picks `min(k, n)` points uniformly at random (without replacement).
+pub fn random_subset<M: MetricSpace + ?Sized>(metric: &M, k: usize, seed: u64) -> Vec<PointId> {
+    let n = metric.n();
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let take = k.min(n);
+    for i in 0..take {
+        let j = rng.random_range(i..ids.len());
+        ids.swap(i, j);
+    }
+    ids.truncate(take);
+    ids.into_iter().map(PointId).collect()
+}
+
+/// Diversity of a random k-subset.
+pub fn random_diversity<M: MetricSpace + ?Sized>(metric: &M, k: usize, seed: u64) -> f64 {
+    min_pairwise_distance(metric, &random_subset(metric, k, seed))
+}
+
+/// k-center radius of a random k-subset of centers.
+pub fn random_kcenter_radius<M: MetricSpace + ?Sized>(metric: &M, k: usize, seed: u64) -> f64 {
+    let centers = random_subset(metric, k, seed);
+    (0..metric.n() as u32)
+        .map(|v| dist_point_to_set(metric, PointId(v), &centers))
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_metric::{datasets, EuclideanSpace};
+
+    #[test]
+    fn subset_has_distinct_points() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(50, 2, 1));
+        let s = random_subset(&metric, 10, 7);
+        assert_eq!(s.len(), 10);
+        let mut ids: Vec<u32> = s.iter().map(|p| p.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn k_exceeding_n_takes_everything() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(5, 2, 1));
+        assert_eq!(random_subset(&metric, 100, 1).len(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(40, 2, 1));
+        assert_eq!(random_subset(&metric, 8, 3), random_subset(&metric, 8, 3));
+        assert_ne!(random_subset(&metric, 8, 3), random_subset(&metric, 8, 4));
+    }
+
+    #[test]
+    fn gmm_beats_random_on_diversity() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(200, 2, 9));
+        let k = 8;
+        let gmm = mpc_core::diversity::sequential_gmm_diversity(&metric, k).diversity;
+        let rnd = random_diversity(&metric, k, 9);
+        assert!(gmm >= rnd, "GMM {gmm} must beat random {rnd}");
+    }
+}

@@ -1,0 +1,319 @@
+//! Remote-clique diversity maximization — the *sum*-of-pairwise-distances
+//! objective the paper's related work contrasts with its remote-edge
+//! (minimum pairwise distance) objective.
+//!
+//! Indyk et al. (PODC 2014) introduced composable coresets for both
+//! measures, and Mirrokni & Zadimoghaddam (STOC 2015) improved
+//! remote-clique via *randomized* composable coresets. This module builds
+//! the family so experiment E13 can contrast the two objectives:
+//!
+//! * [`greedy_remote_clique`] — furthest-sum greedy heuristic;
+//! * [`local_search_remote_clique`] — swap local search, the classic
+//!   2-approximation (Abbassi et al., KDD 2013) used as the sequential
+//!   reference;
+//! * [`mpc_remote_clique`] — randomized-composable-coreset MPC algorithm:
+//!   random partition, per-machine greedy coresets, central local search
+//!   on the union (constant-factor w.h.p. per Mirrokni–Zadimoghaddam).
+
+use mpc_core::common::to_point_ids;
+use mpc_core::{Params, Telemetry};
+use mpc_metric::{MetricSpace, PointId};
+use mpc_sim::{Cluster, Partition};
+
+/// Sum of pairwise distances of `set` (the remote-clique objective).
+pub fn clique_value<M: MetricSpace + ?Sized>(metric: &M, set: &[PointId]) -> f64 {
+    let mut total = 0.0;
+    for (i, &a) in set.iter().enumerate() {
+        for &b in &set[i + 1..] {
+            total += metric.dist(a, b);
+        }
+    }
+    total
+}
+
+/// Result of the remote-clique algorithms.
+#[derive(Debug, Clone)]
+pub struct RemoteCliqueResult {
+    /// The selected k points.
+    pub subset: Vec<PointId>,
+    /// Sum of pairwise distances achieved.
+    pub value: f64,
+    /// Swaps performed (local search) or 0.
+    pub swaps: u32,
+    /// Measured rounds/communication (zero for sequential algorithms).
+    pub telemetry: Telemetry,
+}
+
+/// Furthest-sum greedy: repeatedly add the point with the largest total
+/// distance to the current selection (seeded by the globally furthest
+/// pair). Fast, no guarantee better than a constant.
+pub fn greedy_remote_clique<M: MetricSpace + ?Sized>(
+    metric: &M,
+    subset: &[u32],
+    k: usize,
+) -> RemoteCliqueResult {
+    assert!(k >= 2, "remote-clique needs k >= 2");
+    if subset.len() <= k {
+        let ids = to_point_ids(subset);
+        let value = clique_value(metric, &ids);
+        return RemoteCliqueResult {
+            subset: ids,
+            value,
+            swaps: 0,
+            telemetry: Telemetry::zero(),
+        };
+    }
+    // Seed: the furthest pair.
+    let mut best = (0.0f64, subset[0], subset[0]);
+    for (i, &a) in subset.iter().enumerate() {
+        for &b in &subset[i + 1..] {
+            let d = metric.dist(PointId(a), PointId(b));
+            if d > best.0 {
+                best = (d, a, b);
+            }
+        }
+    }
+    let mut chosen = vec![best.1, best.2];
+    // sum_d[i] = total distance of subset[i] to chosen.
+    let mut sum_d: Vec<f64> = subset
+        .iter()
+        .map(|&v| {
+            metric.dist(PointId(v), PointId(best.1)) + metric.dist(PointId(v), PointId(best.2))
+        })
+        .collect();
+    while chosen.len() < k {
+        let (idx, _) = subset
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !chosen.contains(v))
+            .max_by(|a, b| sum_d[a.0].total_cmp(&sum_d[b.0]).then(b.1.cmp(a.1)))
+            .expect("subset larger than k");
+        let v = subset[idx];
+        chosen.push(v);
+        for (i, &u) in subset.iter().enumerate() {
+            sum_d[i] += metric.dist(PointId(u), PointId(v));
+        }
+    }
+    let ids = to_point_ids(&chosen);
+    let value = clique_value(metric, &ids);
+    RemoteCliqueResult {
+        subset: ids,
+        value,
+        swaps: 0,
+        telemetry: Telemetry::zero(),
+    }
+}
+
+/// Swap local search: start from the greedy solution and keep applying the
+/// best improving single swap until none exists (or `max_swaps` is hit).
+/// 2-approximation at a local optimum.
+pub fn local_search_remote_clique<M: MetricSpace + ?Sized>(
+    metric: &M,
+    subset: &[u32],
+    k: usize,
+    max_swaps: u32,
+) -> RemoteCliqueResult {
+    let mut current = greedy_remote_clique(metric, subset, k);
+    if subset.len() <= k {
+        return current;
+    }
+    let mut swaps = 0u32;
+    // sum_to_sel[v-position-in-subset] = Σ_{c in chosen} d(v, c)
+    let recompute = |chosen: &[PointId]| -> Vec<f64> {
+        subset
+            .iter()
+            .map(|&v| chosen.iter().map(|&c| metric.dist(PointId(v), c)).sum())
+            .collect()
+    };
+    let mut sum_to_sel = recompute(&current.subset);
+    while swaps < max_swaps {
+        // Best single swap (out, in): gain = (sum_in - d(in,out)) - (sum_out - d(in,out)... )
+        let mut best_gain = 1e-12;
+        let mut best_pair: Option<(usize, usize)> = None;
+        for (oi, &out) in current.subset.iter().enumerate() {
+            // contribution of `out` to the objective
+            let out_contrib: f64 = current.subset.iter().map(|&c| metric.dist(out, c)).sum();
+            for (ii, &inn) in subset.iter().enumerate() {
+                let inn_id = PointId(inn);
+                if current.subset.contains(&inn_id) {
+                    continue;
+                }
+                let in_contrib = sum_to_sel[ii] - metric.dist(inn_id, out);
+                let gain = in_contrib - out_contrib;
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_pair = Some((oi, ii));
+                }
+            }
+        }
+        let Some((oi, ii)) = best_pair else { break };
+        current.subset[oi] = PointId(subset[ii]);
+        sum_to_sel = recompute(&current.subset);
+        swaps += 1;
+    }
+    current.value = clique_value(metric, &current.subset);
+    current.swaps = swaps;
+    current
+}
+
+/// Randomized-composable-coreset MPC remote-clique: random partition,
+/// per-machine furthest-sum greedy coresets of size k, central local
+/// search on the gathered union. Two rounds.
+pub fn mpc_remote_clique<M: MetricSpace + ?Sized>(
+    metric: &M,
+    k: usize,
+    params: &Params,
+) -> RemoteCliqueResult {
+    assert!(k >= 2);
+    let n = metric.n();
+    let w = metric.point_weight();
+    let mut cluster = Cluster::new(params.m, params.seed);
+    // Randomized composable coresets *require* a random partition.
+    let partition = Partition::random(n, params.m, params.seed);
+    let coresets: Vec<Vec<u32>> = cluster.map(partition.all_items(), |_, vi| {
+        greedy_remote_clique(metric, vi, k)
+            .subset
+            .iter()
+            .map(|p| p.0)
+            .collect()
+    });
+    let union = cluster.gather("rclique/coreset", coresets, w);
+    let mut result = local_search_remote_clique(metric, &union, k, 64);
+    result.telemetry = Telemetry::from_ledger(cluster.ledger());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_metric::{datasets, EuclideanSpace, PointSet};
+
+    fn line(xs: &[f64]) -> EuclideanSpace {
+        EuclideanSpace::new(PointSet::from_rows(
+            &xs.iter().map(|&x| vec![x]).collect::<Vec<_>>(),
+        ))
+    }
+
+    /// Exact optimum by enumeration (tiny n).
+    fn exact<M: MetricSpace>(metric: &M, k: usize) -> f64 {
+        fn rec<M: MetricSpace>(
+            metric: &M,
+            chosen: &mut Vec<PointId>,
+            start: u32,
+            k: usize,
+            best: &mut f64,
+        ) {
+            if chosen.len() == k {
+                *best = best.max(clique_value(metric, chosen));
+                return;
+            }
+            for v in start..metric.n() as u32 {
+                chosen.push(PointId(v));
+                rec(metric, chosen, v + 1, k, best);
+                chosen.pop();
+            }
+        }
+        let mut best = 0.0;
+        rec(metric, &mut Vec::new(), 0, k, &mut best);
+        best
+    }
+
+    #[test]
+    fn clique_value_sums_pairs() {
+        let m = line(&[0.0, 1.0, 3.0]);
+        let ids = [PointId(0), PointId(1), PointId(2)];
+        // 1 + 3 + 2 = 6
+        assert_eq!(clique_value(&m, &ids), 6.0);
+        assert_eq!(clique_value(&m, &ids[..1]), 0.0);
+    }
+
+    #[test]
+    fn greedy_reaches_line_optimum() {
+        // On a line, every interior point has the same distance-sum to the
+        // two extremes, so many optima tie; check the value, not identity.
+        let m = line(&[0.0, 0.1, 0.2, 5.0, 10.0]);
+        let all: Vec<u32> = (0..5).collect();
+        let res = greedy_remote_clique(&m, &all, 3);
+        assert_eq!(
+            res.value,
+            exact(&m, 3),
+            "greedy must reach the (tied) optimum here"
+        );
+        assert!(res.subset.contains(&PointId(0)) && res.subset.contains(&PointId(4)));
+    }
+
+    #[test]
+    fn local_search_never_worse_than_greedy() {
+        for seed in [1u64, 5, 9] {
+            let m = EuclideanSpace::new(datasets::uniform_cube(60, 2, seed));
+            let all: Vec<u32> = (0..60).collect();
+            let g = greedy_remote_clique(&m, &all, 6);
+            let ls = local_search_remote_clique(&m, &all, 6, 64);
+            assert!(
+                ls.value >= g.value - 1e-9,
+                "seed {seed}: {} < {}",
+                ls.value,
+                g.value
+            );
+        }
+    }
+
+    #[test]
+    fn near_optimal_on_small_instances() {
+        let m = EuclideanSpace::new(datasets::uniform_cube(14, 2, 3));
+        let k = 4;
+        let opt = exact(&m, k);
+        let ls = local_search_remote_clique(&m, &(0..14).collect::<Vec<u32>>(), k, 64);
+        assert!(
+            ls.value >= opt / 2.0 - 1e-9,
+            "local search below its 2-approx: {} vs {opt}",
+            ls.value
+        );
+        let mpc = mpc_remote_clique(&m, k, &Params::practical(2, 0.1, 3));
+        assert!(
+            mpc.value >= opt / 3.0 - 1e-9,
+            "MPC coreset collapsed: {} vs {opt}",
+            mpc.value
+        );
+    }
+
+    #[test]
+    fn mpc_variant_is_two_rounds() {
+        let m = EuclideanSpace::new(datasets::gaussian_clusters(300, 2, 5, 0.05, 7));
+        let res = mpc_remote_clique(&m, 8, &Params::practical(4, 0.1, 7));
+        assert_eq!(res.subset.len(), 8);
+        assert!(res.telemetry.rounds <= 2);
+        let seq = local_search_remote_clique(&m, &(0..300).collect::<Vec<u32>>(), 8, 64);
+        // Randomized coresets are constant-factor: generous band.
+        assert!(res.value >= seq.value / 3.0);
+    }
+
+    #[test]
+    fn n_le_k_returns_everything() {
+        let m = line(&[0.0, 2.0, 5.0]);
+        let res = greedy_remote_clique(&m, &[0, 1, 2], 5);
+        assert_eq!(res.subset.len(), 3);
+        assert_eq!(res.value, 2.0 + 5.0 + 3.0);
+    }
+
+    #[test]
+    fn remote_edge_and_remote_clique_disagree() {
+        // A cluster pair far apart plus spread singles: remote-edge (min)
+        // prefers pairwise-separated points, remote-clique (sum) happily
+        // takes near-duplicates at the extremes.
+        let m = line(&[0.0, 0.01, 100.0, 100.01, 50.0]);
+        let all: Vec<u32> = (0..5).collect();
+        let clique = local_search_remote_clique(&m, &all, 4, 64);
+        let edge = mpc_core::diversity::sequential_gmm_diversity(&m, 4);
+        let clique_ids: std::collections::BTreeSet<u32> =
+            clique.subset.iter().map(|p| p.0).collect();
+        // Remote-clique takes both extreme pairs {0, 1, 2, 3}.
+        assert_eq!(clique_ids, [0u32, 1, 2, 3].into_iter().collect());
+        // Remote-edge keeps the middle point instead of a near-duplicate.
+        let edge_ids: std::collections::BTreeSet<u32> = edge.subset.iter().map(|p| p.0).collect();
+        assert!(
+            edge_ids.contains(&4),
+            "remote-edge should keep the midpoint: {edge_ids:?}"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Charikar–Chekuri–Feder–Motwani (STOC 1997) streaming k-center: the
+//! classic one-pass *doubling algorithm* with an 8-approximation
+//! guarantee. Included as the streaming-model reference point — a third
+//! computation model next to sequential and MPC — for the E2 discussion.
+//!
+//! Invariants maintained while scanning the stream:
+//!
+//! * at most `k` centers, pairwise distance > 2·`lower`;
+//! * every seen point is within O(`lower`) of some center (folding to
+//!   8·OPT overall).
+//!
+//! When a new point cannot be absorbed and a `(k+1)`-th center would be
+//! needed, `lower` doubles and centers within the new merge radius are
+//! thinned.
+
+use mpc_metric::{dist_point_to_set, MetricSpace, PointId};
+
+/// Result of [`streaming_kcenter`].
+#[derive(Debug, Clone)]
+pub struct StreamingResult {
+    /// At most k centers.
+    pub centers: Vec<PointId>,
+    /// Realized covering radius over the whole stream.
+    pub radius: f64,
+    /// Number of times the lower bound doubled.
+    pub doublings: u32,
+}
+
+/// One-pass doubling algorithm over points in id order.
+pub fn streaming_kcenter<M: MetricSpace + ?Sized>(metric: &M, k: usize) -> StreamingResult {
+    assert!(k >= 1);
+    let n = metric.n();
+    if n <= k {
+        return StreamingResult {
+            centers: (0..n as u32).map(PointId).collect(),
+            radius: 0.0,
+            doublings: 0,
+        };
+    }
+
+    // Bootstrap on the first k+1 points: centers = first k, lower = half
+    // the minimum pairwise distance among the first k+1.
+    let mut centers: Vec<PointId> = (0..k as u32).map(PointId).collect();
+    let mut lower = f64::INFINITY;
+    for i in 0..=k as u32 {
+        for j in (i + 1)..=k as u32 {
+            lower = lower.min(metric.dist(PointId(i), PointId(j)));
+        }
+    }
+    lower /= 2.0;
+    let mut doublings = 0u32;
+
+    let absorb = |centers: &mut Vec<PointId>, lower: &mut f64, doublings: &mut u32, p: PointId| {
+        loop {
+            if dist_point_to_set(metric, p, centers) <= 4.0 * *lower {
+                return;
+            }
+            if centers.len() < k {
+                centers.push(p);
+                return;
+            }
+            // Double the bound and thin the centers: keep a maximal subset
+            // with pairwise distance > 4 * new lower.
+            *lower *= 2.0;
+            *doublings += 1;
+            let old = std::mem::take(centers);
+            for c in old {
+                if centers.is_empty() || dist_point_to_set(metric, c, centers) > 4.0 * *lower {
+                    centers.push(c);
+                }
+            }
+        }
+    };
+
+    for i in k as u32..n as u32 {
+        absorb(&mut centers, &mut lower, &mut doublings, PointId(i));
+    }
+
+    let radius = (0..n as u32)
+        .map(|v| dist_point_to_set(metric, PointId(v), &centers))
+        .fold(0.0f64, f64::max);
+    StreamingResult {
+        centers,
+        radius,
+        doublings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_metric::{datasets, EuclideanSpace};
+
+    #[test]
+    fn produces_at_most_k_centers_covering_everything() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(400, 2, 3));
+        for k in [1usize, 4, 10] {
+            let res = streaming_kcenter(&metric, k);
+            assert!(res.centers.len() <= k, "k={k}");
+            assert!(!res.centers.is_empty());
+            assert!(res.radius.is_finite());
+        }
+    }
+
+    #[test]
+    fn within_factor_eight_of_optimum() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(30, 2, 7));
+        for k in [2usize, 3] {
+            let (opt, _) = crate::exact::exact_kcenter(&metric, k);
+            let res = streaming_kcenter(&metric, k);
+            assert!(
+                res.radius <= 8.0 * opt + 1e-9,
+                "k={k}: streaming {} vs opt {opt}",
+                res.radius
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_order_still_bounded() {
+        // Clustered data presented cluster by cluster (worst case for
+        // greedy absorption).
+        let metric = EuclideanSpace::new(datasets::gaussian_clusters(200, 2, 5, 0.01, 9));
+        let res = streaming_kcenter(&metric, 5);
+        let gmm = mpc_core::kcenter::sequential_gmm_kcenter(&metric, 5);
+        // gmm.radius <= 2 opt => opt >= gmm/2; streaming <= 8 opt <= 16 gmm.
+        assert!(res.radius <= 16.0 * gmm.radius.max(1e-9));
+        assert!(res.doublings > 0, "clustered data must trigger doubling");
+    }
+
+    #[test]
+    fn n_le_k_trivial() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(3, 2, 1));
+        let res = streaming_kcenter(&metric, 5);
+        assert_eq!(res.centers.len(), 3);
+        assert_eq!(res.radius, 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! E8/E1/E9 Criterion benches: wall-clock of the MPC diversity pipelines
+//! (full (2+ε) ladder, two-round 4-approx, Indyk 6-approx coreset).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_baselines::indyk::indyk_diversity;
+use mpc_baselines::remote_clique::mpc_remote_clique;
+use mpc_bench::workloads::Workload;
+use mpc_core::diversity::{four_approx_diversity, mpc_diversity, sequential_gmm_diversity};
+use mpc_core::Params;
+
+fn bench_diversity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diversity");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let metric = Workload::Uniform.build(n, 42);
+        let params = Params::practical(8, 0.1, 42);
+        group.bench_with_input(BenchmarkId::new("ours-2eps", n), &n, |b, _| {
+            b.iter(|| mpc_diversity(&metric, 10, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("ours-4approx", n), &n, |b, _| {
+            b.iter(|| four_approx_diversity(&metric, 10, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("indyk-6", n), &n, |b, _| {
+            b.iter(|| indyk_diversity(&metric, 10, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("gmm-seq", n), &n, |b, _| {
+            b.iter(|| sequential_gmm_diversity(&metric, 10))
+        });
+        group.bench_with_input(BenchmarkId::new("remote-clique-mpc", n), &n, |b, _| {
+            b.iter(|| mpc_remote_clique(&metric, 10, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diversity);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E4/E7 Criterion benches: the k-bounded MIS engine across graph
+//! densities and machine counts, plus the degree-approximation primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_bench::{distance_quantile, workloads::Workload};
+use mpc_core::degree::approximate_degrees;
+use mpc_core::kbmis::k_bounded_mis;
+use mpc_core::Params;
+use mpc_sim::{Cluster, Partition};
+
+fn bench_kbmis(c: &mut Criterion) {
+    let n = 1500;
+    let metric = Workload::Uniform.build(n, 42);
+    let mut group = c.benchmark_group("kbmis");
+    group.sample_size(10);
+    for density in [0.05, 0.3] {
+        let tau = distance_quantile(&metric, density, 42);
+        for m in [4usize, 16] {
+            let params = Params::practical(m, 0.1, 42);
+            let alive = Partition::round_robin(n, m).all_items().to_vec();
+            let id = format!("d{density}/m{m}");
+            group.bench_with_input(BenchmarkId::new("mis", &id), &id, |b, _| {
+                b.iter(|| {
+                    let mut cluster = Cluster::new(m, 42);
+                    k_bounded_mis(&mut cluster, &metric, &alive, tau, 10, n, &params, false)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_degree(c: &mut Criterion) {
+    let n = 1500;
+    let metric = Workload::Uniform.build(n, 42);
+    let tau = distance_quantile(&metric, 0.3, 42);
+    let m = 8;
+    let alive = Partition::round_robin(n, m).all_items().to_vec();
+    let mut group = c.benchmark_group("degree");
+    group.sample_size(10);
+    for (name, exact) in [("approx", false), ("exact", true)] {
+        let mut params = Params::practical(m, 0.1, 42);
+        params.exact_degrees = exact;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(m, 42);
+                approximate_degrees(&mut cluster, &metric, &alive, tau, 10, n, &params)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kbmis, bench_degree);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E8/E2 Criterion benches: wall-clock of the MPC k-center pipeline versus
+//! the baselines across input sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_baselines::malkomes::malkomes_kcenter;
+use mpc_bench::workloads::Workload;
+use mpc_core::kcenter::{mpc_kcenter, sequential_gmm_kcenter};
+use mpc_core::Params;
+
+fn bench_kcenter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kcenter");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let metric = Workload::Clustered.build(n, 42);
+        let params = Params::practical(8, 0.1, 42);
+        group.bench_with_input(BenchmarkId::new("ours-2eps", n), &n, |b, _| {
+            b.iter(|| mpc_kcenter(&metric, 10, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("malkomes-4", n), &n, |b, _| {
+            b.iter(|| malkomes_kcenter(&metric, 10, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("gmm-seq", n), &n, |b, _| {
+            b.iter(|| sequential_gmm_kcenter(&metric, 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kcenter);
+criterion_main!(benches);

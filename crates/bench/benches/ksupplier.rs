@@ -1,0 +1,43 @@
+//! E3 Criterion benches: the (3+ε) MPC k-supplier pipeline versus the
+//! sequential 3-approximation, plus the §7 dominating-set extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_bench::{distance_quantile, workloads::supplier_instance, workloads::Workload};
+use mpc_core::dominating::mpc_dominating_set;
+use mpc_core::ksupplier::{mpc_ksupplier, sequential_ksupplier};
+use mpc_core::Params;
+
+fn bench_ksupplier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ksupplier");
+    group.sample_size(10);
+    for nc in [400usize, 1200] {
+        let ns = nc / 3;
+        let (metric, customers, suppliers) = supplier_instance(nc, ns, 42);
+        let params = Params::practical(6, 0.1, 42);
+        group.bench_with_input(BenchmarkId::new("ours-3eps", nc), &nc, |b, _| {
+            b.iter(|| mpc_ksupplier(&metric, &customers, &suppliers, 8, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("seq-3", nc), &nc, |b, _| {
+            b.iter(|| sequential_ksupplier(&metric, &customers, &suppliers, 8))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dominating(c: &mut Criterion) {
+    let n = 1200;
+    let metric = Workload::Uniform.build(n, 42);
+    let tau = distance_quantile(&metric, 0.1, 42);
+    let mut group = c.benchmark_group("dominating-set");
+    group.sample_size(10);
+    for m in [4usize, 16] {
+        let params = Params::practical(m, 0.1, 42);
+        group.bench_with_input(BenchmarkId::new("mis-based", m), &m, |b, _| {
+            b.iter(|| mpc_dominating_set(&metric, tau, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ksupplier, bench_dominating);
+criterion_main!(benches);

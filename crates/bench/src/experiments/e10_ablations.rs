@@ -1,0 +1,86 @@
+//! E10 (Table 6) — ablations of the design decisions D1–D6 (DESIGN.md §4)
+//! on a fixed k-center workload: each row toggles one decision and reports
+//! quality, rounds, and communication.
+
+use mpc_core::kcenter::mpc_kcenter;
+use mpc_core::{BoundarySearch, Params, PartitionStrategy};
+use mpc_graph::mis::TieBreak;
+
+use crate::table::{fnum, Table};
+use crate::workloads::Workload;
+use crate::Scale;
+
+/// Runs E10.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let seed = 29;
+    let n = scale.pick(300, 1500);
+    let k = 8;
+    let m = 6;
+    let metric = Workload::Uniform.build(n, seed);
+
+    let base = Params::practical(m, 0.1, seed);
+    let mut variants: Vec<(&str, Params)> = vec![("baseline (practical)", base.clone())];
+
+    let mut v = base.clone();
+    v.tie_break = TieBreak::Strict;
+    variants.push(("D1: strict trim ties (paper)", v));
+
+    let mut v = base.clone();
+    v.enable_pruning = false;
+    variants.push(("D2: pruning disabled", v));
+
+    let mut v = base.clone();
+    v.exact_degrees = true;
+    variants.push(("D3: exact degrees", v));
+
+    let mut v = base.clone();
+    v.boundary_search = BoundarySearch::Linear;
+    variants.push(("D4: linear ladder scan", v));
+
+    let mut v = base.clone();
+    v.delta = (12.0 / (v.deg_epsilon * v.deg_epsilon)).max(18.0);
+    variants.push(("D5: theory constants (δ = 432)", v));
+
+    let mut v = base.clone();
+    v.partition = PartitionStrategy::Skewed(2.0);
+    variants.push(("D6: skewed partition (α = 2)", v));
+
+    let mut v = base.clone();
+    v.partition = PartitionStrategy::Random;
+    variants.push(("D6: random partition", v));
+
+    let mut t = Table::new(
+        "E10 (Table 6)",
+        "design-decision ablations on MPC k-center (uniform, fixed n/k/m; radius lower is better)",
+        &[
+            "variant",
+            "radius",
+            "rounds",
+            "max words/machine",
+            "total words",
+        ],
+    );
+    for (name, params) in variants {
+        let res = mpc_kcenter(&metric, k, &params);
+        t.row(vec![
+            name.into(),
+            fnum(res.radius),
+            res.telemetry.rounds.to_string(),
+            res.telemetry.max_machine_words.to_string(),
+            res.telemetry.total_words.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_all_variants() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 8);
+    }
+}

@@ -1,0 +1,61 @@
+//! E13 (Table 9) — remote-edge vs remote-clique diversity: the two
+//! measures the related work contrasts, side by side on the same data.
+//! Remote-edge (this paper, min pairwise) and remote-clique (sum of
+//! pairwise, Mirrokni–Zadimoghaddam-style randomized coresets) optimize
+//! different things; the cross-evaluation columns quantify how much each
+//! objective sacrifices under the other's solution.
+
+use mpc_baselines::remote_clique::{clique_value, local_search_remote_clique, mpc_remote_clique};
+use mpc_core::diversity::mpc_diversity;
+use mpc_core::Params;
+use mpc_metric::min_pairwise_distance;
+
+use crate::table::{fnum, ratio, Table};
+use crate::workloads::Workload;
+use crate::Scale;
+
+/// Runs E13.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let seed = 47;
+    let n = scale.pick(120, 1000);
+    let k = 8;
+    let params = Params::practical(4, 0.1, seed);
+
+    let mut t = Table::new(
+        "E13 (Table 9)",
+        "remote-edge vs remote-clique: each MPC solution evaluated under both objectives (edge = min pairwise, clique = sum pairwise), plus the sequential local-search reference",
+        &["workload", "n", "edge-alg: edge", "edge-alg: clique", "clique-alg: edge",
+          "clique-alg: clique", "clique vs seq-LS", "edge rounds", "clique rounds"],
+    );
+    for w in Workload::ALL {
+        let metric = w.build(n, seed);
+        let edge = mpc_diversity(&metric, k, &params);
+        let clique = mpc_remote_clique(&metric, k, &params);
+        let all: Vec<u32> = (0..n as u32).collect();
+        let seq = local_search_remote_clique(&metric, &all, k, 64);
+        t.row(vec![
+            w.name().into(),
+            n.to_string(),
+            fnum(edge.diversity),
+            fnum(clique_value(&metric, &edge.subset)),
+            fnum(min_pairwise_distance(&metric, &clique.subset)),
+            fnum(clique.value),
+            ratio(clique.value, seq.value),
+            edge.telemetry.rounds.to_string(),
+            clique.telemetry.rounds.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), Workload::ALL.len());
+    }
+}

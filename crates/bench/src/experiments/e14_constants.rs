@@ -1,0 +1,71 @@
+//! E14 (Table 10) — sensitivity to the practical constants (δ and the
+//! pruning factor): how the heavy/light threshold and the sample-mass
+//! bailout move the rounds/communication/quality trade-off. This is the
+//! tuning guide behind `Params::practical`'s defaults, and a second
+//! round/communication breakdown table shows where the budget goes
+//! (`Ledger::summary_by_label`).
+
+use mpc_core::kcenter::{mpc_kcenter, mpc_kcenter_on};
+use mpc_core::Params;
+use mpc_sim::Cluster;
+
+use crate::table::{fnum, Table};
+use crate::workloads::Workload;
+use crate::Scale;
+
+/// Runs E14.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let seed = 53;
+    let n = scale.pick(300, 2000);
+    let k = 8;
+    let m = 6;
+    let metric = Workload::Uniform.build(n, seed);
+
+    let mut t = Table::new(
+        "E14-A (Table 10a)",
+        "constants sensitivity on MPC k-center: δ sweeps the heavy/light split, the pruning factor sweeps the dense-sample bailout",
+        &["δ", "pruning factor", "radius", "rounds", "max words/machine", "total words"],
+    );
+    for &delta in &[0.5, 2.0, 8.0, 32.0] {
+        for &pf in &[2.0, 10.0, 50.0] {
+            let mut params = Params::practical(m, 0.1, seed);
+            params.delta = delta;
+            params.pruning_factor = pf;
+            let res = mpc_kcenter(&metric, k, &params);
+            t.row(vec![
+                fnum(delta),
+                fnum(pf),
+                fnum(res.radius),
+                res.telemetry.rounds.to_string(),
+                res.telemetry.max_machine_words.to_string(),
+                res.telemetry.total_words.to_string(),
+            ]);
+        }
+    }
+
+    let mut b = Table::new(
+        "E14-B (Table 10b)",
+        "round/communication budget by collective (default constants): where Õ(mk) actually goes",
+        &["collective", "rounds", "total words sent"],
+    );
+    let params = Params::practical(m, 0.1, seed);
+    let mut cluster = Cluster::new(m, seed);
+    let _ = mpc_kcenter_on(&mut cluster, &metric, k, &params);
+    for (label, rounds, words) in cluster.into_ledger().summary_by_label() {
+        b.row(vec![label, rounds.to_string(), words.to_string()]);
+    }
+    vec![t, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 12);
+        assert!(!tables[1].is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! E4 (Figure 1) — round complexity of the k-bounded MIS (validates
+//! Theorem 13): the number of outer rounds must stay (near-)constant as
+//! `n` grows at fixed `m`, and shrink as `m` grows (`O(1/γ)` with
+//! `m = n^γ`). Rendered as two table-series (one per swept axis).
+
+use mpc_core::kbmis::k_bounded_mis;
+use mpc_core::Params;
+use mpc_sim::{Cluster, Partition};
+
+use crate::table::Table;
+use crate::workloads::Workload;
+use crate::{distance_quantile, Scale};
+
+fn mis_rounds(n: usize, m: usize, k: usize, seed: u64) -> (u64, u64, u64) {
+    let metric = Workload::Uniform.build(n, seed);
+    // Mid-density threshold: the regime where the MIS actually iterates.
+    let tau = distance_quantile(&metric, 0.2, seed);
+    let params = Params::practical(m, 0.1, seed);
+    let mut cluster = Cluster::new(m, seed);
+    let alive = Partition::round_robin(n, m).all_items().to_vec();
+    let res = k_bounded_mis(&mut cluster, &metric, &alive, tau, k, n, &params, false);
+    (res.outer_rounds, cluster.rounds(), res.forced_progress)
+}
+
+/// Runs E4.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let seed = 7;
+    let k = 10;
+
+    let mut by_n = Table::new(
+        "E4-A (Figure 1a)",
+        "k-bounded MIS rounds vs n at m = 8 (series; outer rounds should stay flat)",
+        &[
+            "n",
+            "m",
+            "k",
+            "outer rounds",
+            "MPC rounds total",
+            "forced progress",
+        ],
+    );
+    let ns: Vec<usize> = scale.pick(vec![200, 400], vec![500, 1000, 2000, 4000, 8000]);
+    for &n in &ns {
+        let (outer, total, forced) = mis_rounds(n, 8, k, seed);
+        by_n.row(vec![
+            n.to_string(),
+            "8".into(),
+            k.to_string(),
+            outer.to_string(),
+            total.to_string(),
+            forced.to_string(),
+        ]);
+    }
+
+    let mut by_m = Table::new(
+        "E4-B (Figure 1b)",
+        "k-bounded MIS rounds vs m at fixed n (series; more machines = more compression per round)",
+        &[
+            "n",
+            "m",
+            "k",
+            "outer rounds",
+            "MPC rounds total",
+            "forced progress",
+        ],
+    );
+    let n = scale.pick(400, 4000);
+    for &m in &scale.pick(vec![2, 4], vec![2, 4, 8, 16, 32]) {
+        let (outer, total, forced) = mis_rounds(n, m, k, seed);
+        by_m.row(vec![
+            n.to_string(),
+            m.to_string(),
+            k.to_string(),
+            outer.to_string(),
+            total.to_string(),
+            forced.to_string(),
+        ]);
+    }
+    vec![by_n, by_m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 2);
+        assert_eq!(tables[1].len(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! E5 (Figure 2) — per-machine communication of the full `(2+ε)` k-center
+//! pipeline (validates Theorems 9/14/15): max words through any machine,
+//! normalized by `m·k·ln n`, should stay bounded as `m` and `k` sweep.
+
+use mpc_core::kcenter::mpc_kcenter;
+use mpc_core::Params;
+
+use crate::table::{fnum, Table};
+use crate::workloads::Workload;
+use crate::Scale;
+
+/// Runs E5.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let seed = 11;
+    let n = scale.pick(400, 3000);
+    let metric = Workload::Clustered.build(n, seed);
+    let ln_n = (n as f64).ln();
+
+    let mut t = Table::new(
+        "E5 (Figure 2)",
+        "max per-machine communication of MPC k-center vs m·k (normalized column should stay O(polylog))",
+        &["n", "m", "k", "max words/machine", "m·k·ln n", "words/(m·k·ln n)", "peak memory/machine", "n/m + mk", "rounds", "violations"],
+    );
+    let ms: Vec<usize> = scale.pick(vec![2, 4], vec![2, 4, 8, 16]);
+    let ks: Vec<usize> = scale.pick(vec![5], vec![5, 10, 20]);
+    for &m in &ms {
+        for &k in &ks {
+            let params = Params::practical(m, 0.1, seed);
+            let res = mpc_kcenter(&metric, k, &params);
+            let mk = (m * k) as f64 * ln_n;
+            t.row(vec![
+                n.to_string(),
+                m.to_string(),
+                k.to_string(),
+                res.telemetry.max_machine_words.to_string(),
+                fnum(mk),
+                fnum(res.telemetry.max_machine_words as f64 / mk),
+                res.telemetry.max_machine_memory.to_string(),
+                (n / m + m * k).to_string(),
+                res.telemetry.rounds.to_string(),
+                res.telemetry.violations.to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! E8 (Figure 4) — wall-clock scaling of the simulated pipelines.
+//!
+//! The simulator runs machine-local work in parallel under rayon, so this
+//! measures algorithmic work, not real network time; the Criterion benches
+//! in `benches/` provide the statistically rigorous version of the same
+//! series. This table gives the single-shot numbers for EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use mpc_baselines::indyk::indyk_diversity;
+use mpc_baselines::malkomes::malkomes_kcenter;
+use mpc_core::diversity::mpc_diversity;
+use mpc_core::kcenter::{mpc_kcenter, sequential_gmm_kcenter};
+use mpc_core::Params;
+
+use crate::table::{fnum, Table};
+use crate::workloads::Workload;
+use crate::Scale;
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Runs E8.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let seed = 19;
+    let k = 10;
+    let m = 8;
+
+    let mut t = Table::new(
+        "E8 (Figure 4)",
+        "single-shot wall-clock (ms) of the simulated pipelines vs n (see `cargo bench` for Criterion statistics)",
+        &["n", "ours k-center", "ours k-diversity", "Malkomes-4", "Indyk-6", "GMM sequential"],
+    );
+    let ns: Vec<usize> = scale.pick(vec![200, 400], vec![1000, 2000, 4000, 8000]);
+    for &n in &ns {
+        let metric = Workload::Clustered.build(n, seed);
+        let params = Params::practical(m, 0.1, seed);
+        let t_kc = time_ms(|| {
+            let _ = mpc_kcenter(&metric, k, &params);
+        });
+        let t_div = time_ms(|| {
+            let _ = mpc_diversity(&metric, k, &params);
+        });
+        let t_malk = time_ms(|| {
+            let _ = malkomes_kcenter(&metric, k, &params);
+        });
+        let t_indyk = time_ms(|| {
+            let _ = indyk_diversity(&metric, k, &params);
+        });
+        let t_gmm = time_ms(|| {
+            let _ = sequential_gmm_kcenter(&metric, k);
+        });
+        t.row(vec![
+            n.to_string(),
+            fnum(t_kc),
+            fnum(t_div),
+            fnum(t_malk),
+            fnum(t_indyk),
+            fnum(t_gmm),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 2);
+    }
+}

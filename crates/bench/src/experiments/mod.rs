@@ -1,0 +1,46 @@
+//! The experiment suite E1–E10 (DESIGN.md §5). Each experiment returns
+//! markdown [`crate::table::Table`]s; the `report` binary prints them.
+
+pub mod e10_ablations;
+pub mod e11_metric_generality;
+pub mod e12_cost_projection;
+pub mod e13_remote_clique;
+pub mod e14_constants;
+pub mod e1_diversity_quality;
+pub mod e2_kcenter_quality;
+pub mod e3_ksupplier_quality;
+pub mod e4_rounds;
+pub mod e5_communication;
+pub mod e6_degree_accuracy;
+pub mod e7_edge_decay;
+pub mod e8_timing;
+pub mod e9_four_vs_six;
+
+use crate::table::Table;
+use crate::Scale;
+
+/// Experiment ids in report order.
+pub const ALL: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+];
+
+/// Runs one experiment by id. Panics on unknown ids.
+pub fn run(id: &str, scale: Scale) -> Vec<Table> {
+    match id {
+        "e1" => e1_diversity_quality::run(scale),
+        "e2" => e2_kcenter_quality::run(scale),
+        "e3" => e3_ksupplier_quality::run(scale),
+        "e4" => e4_rounds::run(scale),
+        "e5" => e5_communication::run(scale),
+        "e6" => e6_degree_accuracy::run(scale),
+        "e7" => e7_edge_decay::run(scale),
+        "e8" => e8_timing::run(scale),
+        "e9" => e9_four_vs_six::run(scale),
+        "e10" => e10_ablations::run(scale),
+        "e11" => e11_metric_generality::run(scale),
+        "e12" => e12_cost_projection::run(scale),
+        "e13" => e13_remote_clique::run(scale),
+        "e14" => e14_constants::run(scale),
+        other => panic!("unknown experiment id {other:?} (expected one of {ALL:?})"),
+    }
+}

@@ -1,0 +1,83 @@
+//! Experiment harness regenerating every table and figure of the
+//! constructed evaluation (the paper is theory-only; DESIGN.md §5 defines
+//! the experiment suite E1–E10 that validates each theorem's measurable
+//! claim).
+//!
+//! Run `cargo run --release -p mpc-bench --bin report -- all` to print
+//! every table as markdown; `cargo bench` runs the Criterion wall-clock
+//! benches (E8).
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+/// Experiment sizing: `Quick` keeps everything test-suite sized, `Full`
+/// produces the EXPERIMENTS.md numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small instances for CI and unit tests (seconds).
+    Quick,
+    /// Report-quality instances (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Picks `q` under Quick and `f` under Full.
+    pub fn pick<T>(&self, q: T, f: T) -> T {
+        match self {
+            Scale::Quick => q,
+            Scale::Full => f,
+        }
+    }
+}
+
+/// An approximate distance quantile of a metric space, estimated from a
+/// deterministic sample of point pairs — used to pick threshold values at
+/// controlled graph densities.
+pub fn distance_quantile<M: mpc_metric::MetricSpace + ?Sized>(
+    metric: &M,
+    quantile: f64,
+    seed: u64,
+) -> f64 {
+    use mpc_metric::PointId;
+    use rand::{RngExt, SeedableRng};
+    assert!((0.0..=1.0).contains(&quantile));
+    let n = metric.n();
+    assert!(n >= 2);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let samples = 4000.min(n * (n - 1) / 2);
+    let mut d: Vec<f64> = (0..samples)
+        .map(|_| loop {
+            let i = rng.random_range(0..n as u32);
+            let j = rng.random_range(0..n as u32);
+            if i != j {
+                return metric.dist(PointId(i), PointId(j));
+            }
+        })
+        .collect();
+    d.sort_unstable_by(f64::total_cmp);
+    let idx = ((d.len() - 1) as f64 * quantile).round() as usize;
+    d[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_metric::{datasets, EuclideanSpace};
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let m = EuclideanSpace::new(datasets::uniform_cube(200, 2, 1));
+        let q1 = distance_quantile(&m, 0.1, 7);
+        let q5 = distance_quantile(&m, 0.5, 7);
+        let q9 = distance_quantile(&m, 0.9, 7);
+        assert!(q1 <= q5 && q5 <= q9);
+        assert!(q1 > 0.0);
+    }
+
+    #[test]
+    fn scale_picks() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

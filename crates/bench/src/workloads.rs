@@ -1,0 +1,95 @@
+//! The dataset matrix shared by all experiments.
+
+use mpc_metric::{datasets, EuclideanSpace, PointId, PointSet};
+
+/// A named dataset generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Uniform in the unit square.
+    Uniform,
+    /// Gaussian mixture with tight clusters.
+    Clustered,
+    /// 2-D annulus (no cluster structure).
+    Annulus,
+    /// Power-law cluster sizes (coreset-hostile).
+    PowerLaw,
+    /// Tight groups plus a far outlier group (greedy-hostile partitions).
+    Adversarial,
+}
+
+impl Workload {
+    /// All workloads, in report order.
+    pub const ALL: [Workload; 5] = [
+        Workload::Uniform,
+        Workload::Clustered,
+        Workload::Annulus,
+        Workload::PowerLaw,
+        Workload::Adversarial,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Uniform => "uniform",
+            Workload::Clustered => "clustered",
+            Workload::Annulus => "annulus",
+            Workload::PowerLaw => "power-law",
+            Workload::Adversarial => "adversarial",
+        }
+    }
+
+    /// Builds the dataset at size `n` with the given seed.
+    pub fn build(&self, n: usize, seed: u64) -> EuclideanSpace {
+        let ps = match self {
+            Workload::Uniform => datasets::uniform_cube(n, 2, seed),
+            Workload::Clustered => datasets::gaussian_clusters(n, 2, 8, 0.01, seed),
+            Workload::Annulus => datasets::annulus(n, 1.0, 2.0, seed),
+            Workload::PowerLaw => datasets::powerlaw_clusters(n, 2, 12, 1.5, 0.01, seed),
+            Workload::Adversarial => datasets::adversarial_outlier(n, 8, 100.0, seed),
+        };
+        EuclideanSpace::new(ps)
+    }
+}
+
+/// A bipartite customers/suppliers instance for k-supplier experiments:
+/// customers clustered, suppliers uniform over an enclosing box.
+pub fn supplier_instance(nc: usize, ns: usize, seed: u64) -> (EuclideanSpace, Vec<u32>, Vec<u32>) {
+    let c = datasets::gaussian_clusters(nc, 2, 6, 0.03, seed);
+    let s = datasets::uniform_cube(ns, 2, seed ^ 0xBEEF);
+    let mut rows = Vec::with_capacity(nc + ns);
+    for i in 0..nc {
+        rows.push(c.coords(PointId(i as u32)).to_vec());
+    }
+    for i in 0..ns {
+        // Stretch suppliers to a slightly larger box than the unit square.
+        let p = s.coords(PointId(i as u32));
+        rows.push(vec![p[0] * 1.4 - 0.2, p[1] * 1.4 - 0.2]);
+    }
+    let metric = EuclideanSpace::new(PointSet::from_rows(&rows));
+    let customers = (0..nc as u32).collect();
+    let suppliers = (nc as u32..(nc + ns) as u32).collect();
+    (metric, customers, suppliers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_metric::MetricSpace;
+
+    #[test]
+    fn every_workload_builds() {
+        for w in Workload::ALL {
+            let m = w.build(64, 1);
+            assert_eq!(m.n(), 64, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn supplier_instance_is_disjoint_and_sized() {
+        let (metric, c, s) = supplier_instance(40, 20, 2);
+        assert_eq!(metric.n(), 60);
+        assert_eq!(c.len(), 40);
+        assert_eq!(s.len(), 20);
+        assert!(c.iter().all(|x| !s.contains(x)));
+    }
+}

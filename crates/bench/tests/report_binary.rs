@@ -1,0 +1,47 @@
+//! End-to-end test of the `report` binary: the quick suite must emit a
+//! well-formed markdown table for every experiment.
+
+use std::process::Command;
+
+#[test]
+fn quick_report_emits_every_table() {
+    let out = Command::new(env!("CARGO_BIN_EXE_report"))
+        .args(["all", "--quick"])
+        .output()
+        .expect("report binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in mpc_bench::experiments::ALL {
+        let tag = format!("### {}", id.to_uppercase());
+        assert!(
+            stdout.contains(&tag),
+            "experiment {id} missing from the report (expected a heading starting {tag:?})"
+        );
+    }
+    // Every table needs a header separator row.
+    let headings = stdout.matches("### ").count();
+    let separators = stdout.matches("|---").count();
+    assert!(
+        separators >= headings,
+        "{headings} headings but only {separators} table bodies"
+    );
+}
+
+#[test]
+fn selecting_single_experiments_works() {
+    let out = Command::new(env!("CARGO_BIN_EXE_report"))
+        .args(["e4", "--quick"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("### E4-A"));
+    assert!(
+        !stdout.contains("### E1-A"),
+        "unselected experiments must not run"
+    );
+}

@@ -1,0 +1,157 @@
+//! Distributed helpers shared by the top-level algorithms (Algorithms 2,
+//! 5, 6): coreset construction and covering-radius evaluation.
+
+use mpc_metric::{dist_point_to_set, MetricSpace, PointId};
+use mpc_sim::Cluster;
+
+use crate::gmm::gmm;
+
+/// Converts raw vertex ids to [`PointId`]s.
+pub fn to_point_ids(ids: &[u32]) -> Vec<PointId> {
+    ids.iter().map(|&v| PointId(v)).collect()
+}
+
+/// Lines 1–2 of Algorithms 2/5/6: every machine runs GMM on its local
+/// points and ships the size-≤k coreset `T_i` to the central machine, which
+/// runs GMM on the union. Returns `(q, t_union)` where `q = GMM(∪ T_i, k)`.
+/// One MPC round (the gather).
+pub fn gmm_coreset<M: MetricSpace + ?Sized>(
+    cluster: &mut Cluster,
+    metric: &M,
+    local_sets: &[Vec<u32>],
+    k: usize,
+) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let w = metric.point_weight();
+    let coresets: Vec<Vec<u32>> = cluster.map(local_sets, |_, vi| gmm(metric, vi, k).selected);
+    let tagged: Vec<Vec<u32>> = coresets.clone();
+    let union = cluster.gather("coreset/gather", tagged, w);
+    let q = gmm(metric, &union, k).selected;
+    (q, coresets)
+}
+
+/// `r(X, Q) = max_{x ∈ X} d(x, Q)` where `X` is distributed as
+/// `local_sets`. Two rounds: broadcast `Q`, reduce the local maxima.
+/// Returns 0 when `X` is empty.
+pub fn covering_radius<M: MetricSpace + ?Sized>(
+    cluster: &mut Cluster,
+    metric: &M,
+    local_sets: &[Vec<u32>],
+    q: &[u32],
+) -> f64 {
+    let w = metric.point_weight();
+    cluster.broadcast("radius/bcast", q.len(), w);
+    let q_ids = to_point_ids(q);
+    let local_max: Vec<f64> = cluster.map(local_sets, |_, vi| {
+        vi.iter()
+            .map(|&v| dist_point_to_set(metric, PointId(v), &q_ids))
+            .fold(0.0f64, f64::max)
+    });
+    cluster.reduce("radius/reduce", local_max, f64::max)
+}
+
+/// For each point of `q`, its nearest point among the distributed
+/// `local_sets` (id and distance). Two rounds: broadcast `q`, gather the
+/// per-machine candidates. Panics if `local_sets` is entirely empty while
+/// `q` is not.
+pub fn nearest_in_distributed_set<M: MetricSpace + ?Sized>(
+    cluster: &mut Cluster,
+    metric: &M,
+    local_sets: &[Vec<u32>],
+    q: &[u32],
+) -> Vec<(u32, f64)> {
+    let w = metric.point_weight();
+    cluster.broadcast("nearest/bcast", q.len(), w);
+    // candidates[machine][idx in q] = (best id, best dist) on that machine
+    let candidates: Vec<Vec<(u32, f64)>> = cluster.map(local_sets, |_, si| {
+        q.iter()
+            .map(|&target| {
+                si.iter()
+                    .map(|&s| (s, metric.dist(PointId(target), PointId(s))))
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                    .unwrap_or((u32::MAX, f64::INFINITY))
+            })
+            .collect()
+    });
+    let all = cluster.gather("nearest/gather", candidates, 2);
+    // Fold the m candidate rows (gathered in machine order) per q index.
+    let mut best = vec![(u32::MAX, f64::INFINITY); q.len()];
+    for (flat_idx, cand) in all.into_iter().enumerate() {
+        let qi = flat_idx % q.len().max(1);
+        if cand.1 < best[qi].1 || (cand.1 == best[qi].1 && cand.0 < best[qi].0) {
+            best[qi] = cand;
+        }
+    }
+    assert!(
+        q.is_empty() || best.iter().all(|&(id, _)| id != u32::MAX),
+        "no candidate found: the distributed set is empty"
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_metric::{datasets, EuclideanSpace, PointSet};
+    use mpc_sim::Partition;
+
+    fn line(xs: &[f64]) -> EuclideanSpace {
+        EuclideanSpace::new(PointSet::from_rows(
+            &xs.iter().map(|&x| vec![x]).collect::<Vec<_>>(),
+        ))
+    }
+
+    #[test]
+    fn coreset_q_has_k_points() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(120, 2, 3));
+        let mut cluster = Cluster::new(4, 1);
+        let parts = Partition::round_robin(120, 4).all_items().to_vec();
+        let (q, coresets) = gmm_coreset(&mut cluster, &metric, &parts, 6);
+        assert_eq!(q.len(), 6);
+        assert_eq!(coresets.len(), 4);
+        assert!(coresets.iter().all(|c| c.len() == 6));
+        assert_eq!(cluster.rounds(), 1);
+    }
+
+    #[test]
+    fn coreset_handles_tiny_machines() {
+        let metric = line(&[0.0, 1.0, 2.0]);
+        let mut cluster = Cluster::new(2, 1);
+        let (q, _) = gmm_coreset(&mut cluster, &metric, &[vec![0], vec![1, 2]], 5);
+        assert_eq!(q.len(), 3, "k > n returns everything");
+    }
+
+    #[test]
+    fn covering_radius_matches_direct_computation() {
+        let metric = line(&[0.0, 1.0, 5.0, 9.0]);
+        let mut cluster = Cluster::new(2, 1);
+        let local = vec![vec![0, 1], vec![2, 3]];
+        // Q = {1}: furthest is 9 at distance 8.
+        let r = covering_radius(&mut cluster, &metric, &local, &[1]);
+        assert_eq!(r, 8.0);
+        assert_eq!(cluster.rounds(), 2);
+    }
+
+    #[test]
+    fn covering_radius_of_empty_x_is_zero() {
+        let metric = line(&[0.0]);
+        let mut cluster = Cluster::new(2, 1);
+        assert_eq!(
+            covering_radius(&mut cluster, &metric, &[vec![], vec![]], &[0]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn nearest_finds_global_minimum_across_machines() {
+        let metric = line(&[0.0, 10.0, 4.9, 5.1, 20.0]);
+        let mut cluster = Cluster::new(2, 1);
+        // Suppliers 2 (x=4.9) on machine 0, suppliers 3, 4 on machine 1.
+        let local = vec![vec![2], vec![3, 4]];
+        // Query points 0 (x=0) and 1 (x=10).
+        let best = nearest_in_distributed_set(&mut cluster, &metric, &local, &[0, 1]);
+        assert_eq!(best[0].0, 2); // x=4.9 closest to 0
+        assert!((best[0].1 - 4.9).abs() < 1e-12);
+        assert_eq!(best[1].0, 3); // x=5.1 closest to 10
+        assert!((best[1].1 - 4.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,387 @@
+//! Algorithm 6 — `(3+ε)`-approximation MPC k-supplier (Theorem 18).
+//!
+//! In k-supplier the centers must come from a separate supplier set `S`
+//! while the objective covers the customer set `C`; the approximability
+//! lower bound rises from 2 to 3 (Hochbaum–Shmoys). The algorithm:
+//!
+//! 1. coarse estimate `r = r(C, Q) + r(Q, S)` with `r/9 ≤ r* ≤ r` from the
+//!    k-center coreset `Q` of the customers;
+//! 2. ascend the ladder `τ_i = (r/9)(1+ε)^i`, at each rung computing a
+//!    (k+1)-bounded MIS `M_i` of the customer threshold graph `G_{2τ_i}`;
+//! 3. the smallest rung `j` where `|M_j| ≤ k` **and** every point of `M_j`
+//!    has a supplier within `τ_j` yields a solution of radius `3 τ_j ≤
+//!    3(1+ε) r*` — each customer reaches an `M_j` point within `2τ_j` and
+//!    that point's supplier within another `τ_j`.
+
+use mpc_metric::{MetricSpace, PointId};
+use mpc_sim::Cluster;
+
+use crate::common::{covering_radius, gmm_coreset, nearest_in_distributed_set, to_point_ids};
+use crate::kbmis::k_bounded_mis;
+use crate::params::{BoundarySearch, Params};
+use crate::telemetry::Telemetry;
+
+/// Result of [`mpc_ksupplier`].
+#[derive(Debug, Clone)]
+pub struct KSupplierResult {
+    /// The selected suppliers (≤ k, deduplicated).
+    pub suppliers: Vec<PointId>,
+    /// `r(C, suppliers)` — the realized covering radius of the customers.
+    pub radius: f64,
+    /// The coarse estimate of line 3 (`r/9 ≤ r* ≤ r`).
+    pub coarse_r: f64,
+    /// Ladder index of the accepted rung.
+    pub boundary_index: usize,
+    /// Measured rounds/communication.
+    pub telemetry: Telemetry,
+}
+
+fn new_cluster(params: &Params) -> Cluster {
+    match params.budget_words {
+        Some(b) => Cluster::with_budget(params.m, params.seed, b),
+        None => Cluster::new(params.m, params.seed),
+    }
+}
+
+/// Splits `ids` over `m` machines with the partition strategy (reusing the
+/// strategy over positions, then mapping back to the actual ids).
+fn split_ids(ids: &[u32], params: &Params, salt: u64) -> Vec<Vec<u32>> {
+    let part = params
+        .partition
+        .build(ids.len(), params.m, params.seed ^ salt);
+    part.all_items()
+        .iter()
+        .map(|positions| positions.iter().map(|&p| ids[p as usize]).collect())
+        .collect()
+}
+
+/// Algorithm 6: `(3+ε)`-approximation MPC k-supplier in any metric space
+/// (Theorem 18).
+///
+/// `customers` and `suppliers` are disjoint id sets within `metric`; each
+/// machine stores a share of both.
+pub fn mpc_ksupplier<M: MetricSpace + ?Sized>(
+    metric: &M,
+    customers: &[u32],
+    suppliers: &[u32],
+    k: usize,
+    params: &Params,
+) -> KSupplierResult {
+    let mut cluster = new_cluster(params);
+    mpc_ksupplier_on(&mut cluster, metric, customers, suppliers, k, params)
+}
+
+/// Like [`mpc_ksupplier`] but on a caller-provided cluster, keeping the
+/// full round-by-round [`mpc_sim::Ledger`] with the caller.
+pub fn mpc_ksupplier_on<M: MetricSpace + ?Sized>(
+    cluster: &mut Cluster,
+    metric: &M,
+    customers: &[u32],
+    suppliers: &[u32],
+    k: usize,
+    params: &Params,
+) -> KSupplierResult {
+    assert!(k >= 1, "k must be positive");
+    assert!(!customers.is_empty(), "need at least one customer");
+    assert!(!suppliers.is_empty(), "need at least one supplier");
+    assert_eq!(cluster.m(), params.m, "cluster size must match params.m");
+    params.validate();
+    let n = metric.n();
+    let local_c = split_ids(customers, params, 0xC);
+    let local_s = split_ids(suppliers, params, 0x5);
+    let input_words: Vec<u64> = local_c
+        .iter()
+        .zip(&local_s)
+        .map(|(c, s)| (c.len() + s.len()) as u64 * metric.point_weight())
+        .collect();
+    cluster.note_memory_all(&input_words);
+
+    // Lines 1–2: customer coreset Q.
+    let (q, _) = gmm_coreset(cluster, metric, &local_c, k);
+
+    // Line 3: r = r(C, Q) + r(Q, S).
+    let r_cq = covering_radius(cluster, metric, &local_c, &q);
+    let q_nearest = nearest_in_distributed_set(cluster, metric, &local_s, &q);
+    let r_qs = q_nearest.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);
+    let r = r_cq + r_qs;
+
+    if r <= 0.0 {
+        // Every customer sits on a supplier: pick Q's suppliers directly.
+        let mut sel: Vec<u32> = q_nearest.iter().map(|&(s, _)| s).collect();
+        sel.sort_unstable();
+        sel.dedup();
+        sel.truncate(k);
+        return KSupplierResult {
+            suppliers: to_point_ids(&sel),
+            radius: 0.0,
+            coarse_r: 0.0,
+            boundary_index: 0,
+            telemetry: Telemetry::from_ledger(cluster.ledger()),
+        };
+    }
+
+    // Line 4: ascending ladder τ_i = (r/9)(1+ε)^i with τ_t ≥ r.
+    let t = params.ladder_len(9.0, 0);
+    let tau = |i: usize| (r / 9.0) * (1.0 + params.epsilon).powi(i as i32);
+
+    // Lines 5–6: M_t = Q; find the smallest j with |M_j| ≤ k and
+    // r(M_j, S) ≤ τ_j. Index t always qualifies: |Q| ≤ k and
+    // r(Q, S) = r_qs ≤ r ≤ τ_t.
+    let mut mis_cache: Vec<Option<Vec<u32>>> = vec![None; t + 1];
+    mis_cache[t] = Some(q.clone());
+    // P(i): |M_i| <= k and r(M_i, S) <= τ_i; memoize the supplier
+    // assignment of rungs that pass.
+    let mut assign_cache: Vec<Option<Vec<(u32, f64)>>> = vec![None; t + 1];
+    let pred = |cluster: &mut Cluster,
+                mis_cache: &mut Vec<Option<Vec<u32>>>,
+                assign_cache: &mut Vec<Option<Vec<(u32, f64)>>>,
+                i: usize|
+     -> bool {
+        if mis_cache[i].is_none() {
+            let res = k_bounded_mis(
+                cluster,
+                metric,
+                &local_c,
+                2.0 * tau(i),
+                k + 1,
+                n,
+                params,
+                false,
+            );
+            mis_cache[i] = Some(res.set);
+        }
+        let m_i = mis_cache[i].as_ref().expect("just filled").clone();
+        if m_i.len() > k {
+            return false;
+        }
+        if assign_cache[i].is_none() {
+            assign_cache[i] = Some(nearest_in_distributed_set(cluster, metric, &local_s, &m_i));
+        }
+        let worst = assign_cache[i]
+            .as_ref()
+            .expect("just filled")
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(0.0f64, f64::max);
+        worst <= tau(i)
+    };
+
+    let boundary = match params.boundary_search {
+        BoundarySearch::Binary => {
+            // Lower-bound search for the smallest passing rung, assuming
+            // the predicate is monotone in i (larger τ is easier).
+            let mut lo = 0usize;
+            let mut hi = t; // P(t) holds
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if pred(cluster, &mut mis_cache, &mut assign_cache, mid) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            lo
+        }
+        BoundarySearch::Linear => {
+            let mut j = 0;
+            while j < t && !pred(cluster, &mut mis_cache, &mut assign_cache, j) {
+                j += 1;
+            }
+            j
+        }
+    };
+
+    // Line 8: the suppliers realizing r(M_j, S) ≤ τ_j.
+    if assign_cache[boundary].is_none() {
+        // Possible when binary search settled on t without evaluating it.
+        let m_b = mis_cache[boundary]
+            .as_ref()
+            .expect("boundary MIS exists")
+            .clone();
+        assign_cache[boundary] = Some(nearest_in_distributed_set(cluster, metric, &local_s, &m_b));
+    }
+    let mut sel: Vec<u32> = assign_cache[boundary]
+        .as_ref()
+        .expect("filled above")
+        .iter()
+        .map(|&(s, _)| s)
+        .collect();
+    sel.sort_unstable();
+    sel.dedup();
+    debug_assert!(sel.len() <= k);
+
+    let radius = covering_radius(cluster, metric, &local_c, &sel);
+    KSupplierResult {
+        suppliers: to_point_ids(&sel),
+        radius,
+        coarse_r: r,
+        boundary_index: boundary,
+        telemetry: Telemetry::from_ledger(cluster.ledger()),
+    }
+}
+
+/// Sequential 3-approximation reference: GMM the customers, then map each
+/// chosen customer to its nearest supplier (the classic Hochbaum–Shmoys
+/// style bound: 2 r* from the k-center step + r* for the hop to S).
+pub fn sequential_ksupplier<M: MetricSpace + ?Sized>(
+    metric: &M,
+    customers: &[u32],
+    suppliers: &[u32],
+    k: usize,
+) -> KSupplierResult {
+    assert!(k >= 1 && !customers.is_empty() && !suppliers.is_empty());
+    let centers = crate::gmm::gmm(metric, customers, k).selected;
+    let mut sel: Vec<u32> = centers
+        .iter()
+        .map(|&c| {
+            suppliers
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    metric
+                        .dist(PointId(c), PointId(a))
+                        .total_cmp(&metric.dist(PointId(c), PointId(b)))
+                        .then(a.cmp(&b))
+                })
+                .expect("non-empty suppliers")
+        })
+        .collect();
+    sel.sort_unstable();
+    sel.dedup();
+    let sel_ids = to_point_ids(&sel);
+    let radius = customers
+        .iter()
+        .map(|&c| mpc_metric::dist_point_to_set(metric, PointId(c), &sel_ids))
+        .fold(0.0f64, f64::max);
+    KSupplierResult {
+        suppliers: sel_ids,
+        radius,
+        coarse_r: radius,
+        boundary_index: 0,
+        telemetry: Telemetry::zero(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_metric::{datasets, dist_point_to_set, EuclideanSpace, PointSet};
+    use rand::{RngExt, SeedableRng};
+
+    /// Builds one space containing customers then suppliers; returns
+    /// (metric, customer ids, supplier ids).
+    fn instance(nc: usize, ns: usize, seed: u64) -> (EuclideanSpace, Vec<u32>, Vec<u32>) {
+        let c = datasets::gaussian_clusters(nc, 2, 5, 0.05, seed);
+        let mut rows: Vec<Vec<f64>> = (0..nc)
+            .map(|i| c.coords(PointId(i as u32)).to_vec())
+            .collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xF00D);
+        for _ in 0..ns {
+            rows.push(vec![
+                rng.random_range(-0.2..1.2),
+                rng.random_range(-0.2..1.2),
+            ]);
+        }
+        let metric = EuclideanSpace::new(PointSet::from_rows(&rows));
+        let customers: Vec<u32> = (0..nc as u32).collect();
+        let suppliers: Vec<u32> = (nc as u32..(nc + ns) as u32).collect();
+        (metric, customers, suppliers)
+    }
+
+    #[test]
+    fn output_is_feasible_and_bounded() {
+        let (metric, customers, suppliers) = instance(150, 60, 3);
+        let params = Params::practical(4, 0.2, 3);
+        let res = mpc_ksupplier(&metric, &customers, &suppliers, 5, &params);
+        assert!(res.suppliers.len() <= 5);
+        assert!(!res.suppliers.is_empty());
+        // Every chosen id must be a supplier.
+        for s in &res.suppliers {
+            assert!(suppliers.contains(&s.0), "{s} is not a supplier");
+        }
+        // Radius consistency.
+        let true_r = customers
+            .iter()
+            .map(|&c| dist_point_to_set(&metric, PointId(c), &res.suppliers))
+            .fold(0.0f64, f64::max);
+        assert!((res.radius - true_r).abs() < 1e-9);
+        // Coarse estimate is an upper bound on a feasible radius; the
+        // guarantee keeps the result within 3(1+eps) of the optimum, which
+        // is itself ≤ coarse r.
+        assert!(res.radius <= 3.0 * (1.0 + params.epsilon) * res.coarse_r / 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn beats_three_plus_eps_against_sequential_reference() {
+        for seed in [1u64, 7] {
+            let (metric, customers, suppliers) = instance(120, 50, seed);
+            let k = 4;
+            let params = Params::practical(3, 0.2, seed);
+            let ours = mpc_ksupplier(&metric, &customers, &suppliers, k, &params);
+            let seq = sequential_ksupplier(&metric, &customers, &suppliers, k);
+            // seq.radius <= 3 r*  =>  r* >= seq.radius / 3; ours must be
+            // <= 3(1+eps) r* <= 3(1+eps) seq.radius — very loose but it
+            // pins the approximation relationship.
+            assert!(
+                ours.radius <= 3.0 * (1.0 + params.epsilon) * seq.radius + 1e-9,
+                "seed {seed}: ours {} vs sequential {}",
+                ours.radius,
+                seq.radius
+            );
+        }
+    }
+
+    #[test]
+    fn customers_on_suppliers_give_zero_radius() {
+        // Customers and suppliers at identical coordinates.
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0], // customers
+            vec![0.0, 0.0],
+            vec![1.0, 0.0], // suppliers
+        ];
+        let metric = EuclideanSpace::new(PointSet::from_rows(&rows));
+        let params = Params::practical(2, 0.1, 1);
+        let res = mpc_ksupplier(&metric, &[0, 1], &[2, 3], 2, &params);
+        assert_eq!(res.radius, 0.0);
+    }
+
+    #[test]
+    fn single_supplier_is_always_chosen() {
+        let (metric, customers, _) = instance(50, 0, 5);
+        // Append one supplier far away.
+        let mut rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| metric.points().coords(PointId(i)).to_vec())
+            .collect();
+        rows.push(vec![5.0, 5.0]);
+        let metric = EuclideanSpace::new(PointSet::from_rows(&rows));
+        let params = Params::practical(2, 0.1, 5);
+        let res = mpc_ksupplier(&metric, &customers, &[50], 3, &params);
+        assert_eq!(res.suppliers, vec![PointId(50)]);
+        let seq = sequential_ksupplier(&metric, &customers, &[50], 3);
+        assert!(
+            (res.radius - seq.radius).abs() < 1e-9,
+            "only one possible answer"
+        );
+    }
+
+    #[test]
+    fn linear_scan_gives_valid_rung() {
+        let (metric, customers, suppliers) = instance(100, 40, 9);
+        let mut params = Params::practical(3, 0.2, 9);
+        params.boundary_search = BoundarySearch::Linear;
+        let res = mpc_ksupplier(&metric, &customers, &suppliers, 4, &params);
+        assert!(res.suppliers.len() <= 4);
+        assert!(res.radius.is_finite());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (metric, customers, suppliers) = instance(120, 60, 21);
+        let params = Params::practical(4, 0.15, 21);
+        let a = mpc_ksupplier(&metric, &customers, &suppliers, 5, &params);
+        let b = mpc_ksupplier(&metric, &customers, &suppliers, 5, &params);
+        assert_eq!(a.suppliers, b.suppliers);
+        assert_eq!(a.telemetry.rounds, b.telemetry.rounds);
+    }
+}

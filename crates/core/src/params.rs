@@ -1,0 +1,206 @@
+//! Tunable parameters shared by all of the paper's algorithms.
+
+use mpc_graph::mis::TieBreak;
+use mpc_sim::Partition;
+
+/// How the threshold-ladder boundary index is located in Algorithms 2, 5
+/// and 6 (design decision D4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundarySearch {
+    /// Binary search over the ladder — `O(log t)` k-bounded-MIS runs, the
+    /// paper's `O(log 1/ε)` round bound.
+    Binary,
+    /// Linear scan — `O(t)` runs; used by the E10 ablation and as a
+    /// belt-and-braces mode when predicate monotonicity is in doubt.
+    Linear,
+}
+
+/// How the input points are initially distributed over machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartitionStrategy {
+    /// Point `i` on machine `i mod m`.
+    RoundRobin,
+    /// Contiguous blocks in input order.
+    Contiguous,
+    /// Uniformly random machine per point.
+    Random,
+    /// Power-law skew with the given exponent (design decision D6).
+    Skewed(f64),
+}
+
+impl PartitionStrategy {
+    /// Materializes the strategy for `n` items over `m` machines.
+    pub fn build(&self, n: usize, m: usize, seed: u64) -> Partition {
+        match *self {
+            Self::RoundRobin => Partition::round_robin(n, m),
+            Self::Contiguous => Partition::contiguous(n, m),
+            Self::Random => Partition::random(n, m, seed),
+            Self::Skewed(alpha) => Partition::skewed(n, m, alpha, seed),
+        }
+    }
+}
+
+/// Parameters of the MPC algorithms.
+///
+/// Two presets are provided. [`Params::theory`] uses the constants under
+/// which the paper's with-high-probability lemmas are proven (`δ ≥ 12/ε²`,
+/// Lemmas 5–8) — correct but so conservative that the heavy/light split
+/// never engages at laptop scale. [`Params::practical`] keeps every
+/// *deterministic* guarantee (outputs are always valid k-bounded MISes /
+/// clusterings) while using small constants, so the probabilistic round and
+/// communication bounds become measured quantities instead of certainties;
+/// the ledger records any budget breaches. See DESIGN.md §2.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Number of machines `m` (the paper takes `m = n^γ`).
+    pub m: usize,
+    /// Approximation slack `ε > 0` of the top-level algorithms.
+    pub epsilon: f64,
+    /// Precision of the degree approximation; the paper fixes `1/6` for the
+    /// Algorithm 4 analysis (§5).
+    pub deg_epsilon: f64,
+    /// The `δ` constant of Algorithm 3 (heavy/light threshold `δ ln n`).
+    pub delta: f64,
+    /// Multiplier in Algorithm 4's pruning trigger `Σ 1/(2 p_v) > C·k·ln n`
+    /// (the paper uses `C = 10`).
+    pub pruning_factor: f64,
+    /// Whether Algorithm 4's pruning step is enabled (ablation D2).
+    pub enable_pruning: bool,
+    /// Tie-breaking rule for `trim` (ablation D1).
+    pub tie_break: TieBreak,
+    /// Boundary search mode for the threshold ladder (ablation D4).
+    pub boundary_search: BoundarySearch,
+    /// Initial distribution of points over machines (ablation D6).
+    pub partition: PartitionStrategy,
+    /// RNG seed for all sampling.
+    pub seed: u64,
+    /// Optional per-round per-machine communication budget in words;
+    /// breaches are recorded on the ledger, never fatal.
+    pub budget_words: Option<u64>,
+    /// When true, use exact degrees instead of Algorithm 3 (ablation D3).
+    pub exact_degrees: bool,
+}
+
+impl Params {
+    /// Practical preset: small constants, deterministic validity, measured
+    /// probabilistic behaviour. This is what the experiments run.
+    pub fn practical(m: usize, epsilon: f64, seed: u64) -> Self {
+        assert!(m >= 1, "need at least one machine");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive and finite"
+        );
+        Self {
+            m,
+            epsilon,
+            deg_epsilon: 1.0 / 6.0,
+            delta: 2.0,
+            pruning_factor: 10.0,
+            enable_pruning: true,
+            tie_break: TieBreak::ById,
+            boundary_search: BoundarySearch::Binary,
+            partition: PartitionStrategy::RoundRobin,
+            seed,
+            budget_words: None,
+            exact_degrees: false,
+        }
+    }
+
+    /// Paper-constant preset: `δ = max(18, 12/ε_deg²)` so Lemmas 5–8 hold
+    /// w.h.p. (δ = 432 at the paper's `ε_deg = 1/6`).
+    pub fn theory(m: usize, epsilon: f64, seed: u64) -> Self {
+        let mut p = Self::practical(m, epsilon, seed);
+        p.delta = (12.0 / (p.deg_epsilon * p.deg_epsilon)).max(18.0);
+        p.tie_break = TieBreak::Strict;
+        p
+    }
+
+    /// Validates field combinations reachable through direct mutation.
+    /// Called by the algorithms on entry (cheap).
+    pub fn validate(&self) {
+        assert!(self.m >= 1, "need at least one machine");
+        assert!(
+            self.epsilon > 0.0 && self.epsilon.is_finite(),
+            "bad epsilon"
+        );
+        assert!(
+            self.deg_epsilon > 0.0 && self.deg_epsilon < 1.0,
+            "degree-approximation precision must lie in (0, 1)"
+        );
+        assert!(self.delta > 0.0, "delta must be positive");
+        assert!(self.pruning_factor > 0.0, "pruning factor must be positive");
+    }
+
+    /// The ladder length `t = ⌈log_{1+ε} c⌉ + extra` used by the top-level
+    /// algorithms (c = 4 for diversity/k-center, 9 for k-supplier).
+    pub fn ladder_len(&self, c: f64, extra: usize) -> usize {
+        assert!(c > 1.0);
+        ((c.ln() / (1.0 + self.epsilon).ln()).ceil() as usize) + extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_delta() {
+        let p = Params::practical(8, 0.1, 1);
+        let t = Params::theory(8, 0.1, 1);
+        assert_eq!(p.delta, 2.0);
+        assert_eq!(t.delta, 432.0);
+        assert_eq!(t.tie_break, TieBreak::Strict);
+    }
+
+    #[test]
+    fn ladder_covers_the_constant() {
+        let p = Params::practical(4, 0.1, 0);
+        let t = p.ladder_len(4.0, 1);
+        // (1+eps)^(t-1) must reach 4.
+        assert!((1.1f64).powi(t as i32 - 1) >= 4.0);
+        // And the ladder is not absurdly long.
+        assert!((t as f64) <= 4.0f64.ln() / 1.1f64.ln() + 2.0);
+    }
+
+    #[test]
+    fn partition_strategies_build() {
+        for s in [
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::Random,
+            PartitionStrategy::Skewed(1.5),
+        ] {
+            let p = s.build(100, 5, 3);
+            assert_eq!(p.n(), 100);
+            assert_eq!(p.m(), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_nonpositive_epsilon() {
+        Params::practical(4, 0.0, 0);
+    }
+
+    #[test]
+    fn validate_accepts_presets() {
+        Params::practical(4, 0.1, 0).validate();
+        Params::theory(4, 0.1, 0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn validate_rejects_bad_delta() {
+        let mut p = Params::practical(4, 0.1, 0);
+        p.delta = -1.0;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "precision")]
+    fn validate_rejects_bad_deg_epsilon() {
+        let mut p = Params::practical(4, 0.1, 0);
+        p.deg_epsilon = 1.5;
+        p.validate();
+    }
+}

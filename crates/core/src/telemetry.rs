@@ -1,0 +1,79 @@
+//! Execution summaries extracted from the simulator ledger.
+
+use mpc_sim::Ledger;
+
+/// Summary of one MPC execution — the measured counterparts of the paper's
+/// claimed complexities (rounds, `Õ(mk)` communication per machine).
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// MPC rounds consumed.
+    pub rounds: u64,
+    /// Largest per-machine traffic in any single round (the MPC constraint).
+    pub max_machine_words_per_round: u64,
+    /// Largest total traffic through any one machine over the whole run —
+    /// the paper's communication-per-machine measure.
+    pub max_machine_words: u64,
+    /// Total words moved across all machines and rounds.
+    pub total_words: u64,
+    /// Number of recorded communication-budget violations.
+    pub violations: usize,
+    /// Largest peak resident memory noted on any machine (words) — the
+    /// paper's `Õ(n/m + mk)` memory measure.
+    pub max_machine_memory: u64,
+}
+
+impl Telemetry {
+    /// Summarizes a ledger.
+    pub fn from_ledger(ledger: &Ledger) -> Self {
+        Self {
+            rounds: ledger.rounds(),
+            max_machine_words_per_round: ledger.max_machine_words_per_round(),
+            max_machine_words: ledger.max_machine_words(),
+            total_words: ledger.total_words(),
+            violations: ledger.violations().len(),
+            max_machine_memory: ledger.max_machine_memory(),
+        }
+    }
+
+    /// The all-zero telemetry of a purely sequential execution.
+    pub fn zero() -> Self {
+        Self {
+            rounds: 0,
+            max_machine_words_per_round: 0,
+            max_machine_words: 0,
+            total_words: 0,
+            violations: 0,
+            max_machine_memory: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_sim::MachineIo;
+
+    #[test]
+    fn summarizes_ledger() {
+        let mut l = Ledger::new(2);
+        l.record_round(
+            "a",
+            vec![
+                MachineIo {
+                    sent: 4,
+                    received: 0,
+                },
+                MachineIo {
+                    sent: 0,
+                    received: 4,
+                },
+            ],
+        );
+        let t = Telemetry::from_ledger(&l);
+        assert_eq!(t.rounds, 1);
+        assert_eq!(t.max_machine_words_per_round, 4);
+        assert_eq!(t.max_machine_words, 4);
+        assert_eq!(t.total_words, 4);
+        assert_eq!(t.violations, 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Independent verification of algorithm outputs — for downstream users
+//! who want to check a result against the problem definition without
+//! trusting this library's internals (and for the test suites, which do
+//! exactly that).
+
+use mpc_graph::{verify::is_k_bounded_mis, ThresholdGraph};
+use mpc_metric::{dist_point_to_set, min_pairwise_distance, MetricSpace, PointId};
+
+use crate::diversity::DiversityResult;
+use crate::kcenter::KCenterResult;
+use crate::ksupplier::KSupplierResult;
+
+/// A verification failure, naming the violated property.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The solution has the wrong number of elements.
+    WrongSize { expected: usize, got: usize },
+    /// A reported objective value does not match the solution.
+    ObjectiveMismatch { reported: f64, actual: f64 },
+    /// An element is outside its allowed ground set.
+    NotInGroundSet(PointId),
+    /// Elements are not distinct.
+    Duplicates,
+    /// The k-bounded MIS definition is violated.
+    NotKBoundedMis,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WrongSize { expected, got } => {
+                write!(
+                    f,
+                    "solution has {got} elements, expected at most {expected}"
+                )
+            }
+            Self::ObjectiveMismatch { reported, actual } => {
+                write!(
+                    f,
+                    "reported objective {reported} but solution realizes {actual}"
+                )
+            }
+            Self::NotInGroundSet(p) => write!(f, "{p} is outside the allowed ground set"),
+            Self::Duplicates => write!(f, "solution contains duplicate points"),
+            Self::NotKBoundedMis => write!(f, "set violates the k-bounded MIS definition"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+const TOL: f64 = 1e-9;
+
+fn check_distinct(ids: &[PointId]) -> Result<(), VerifyError> {
+    let mut seen: Vec<u32> = ids.iter().map(|p| p.0).collect();
+    seen.sort_unstable();
+    let before = seen.len();
+    seen.dedup();
+    if seen.len() != before {
+        return Err(VerifyError::Duplicates);
+    }
+    Ok(())
+}
+
+/// Checks a k-center result: ≤ k distinct centers drawn from the input,
+/// and the reported radius equals the realized covering radius.
+pub fn check_kcenter<M: MetricSpace + ?Sized>(
+    metric: &M,
+    k: usize,
+    result: &KCenterResult,
+) -> Result<(), VerifyError> {
+    if result.centers.len() > k {
+        return Err(VerifyError::WrongSize {
+            expected: k,
+            got: result.centers.len(),
+        });
+    }
+    check_distinct(&result.centers)?;
+    for c in &result.centers {
+        if c.idx() >= metric.n() {
+            return Err(VerifyError::NotInGroundSet(*c));
+        }
+    }
+    let actual = (0..metric.n() as u32)
+        .map(|v| dist_point_to_set(metric, PointId(v), &result.centers))
+        .fold(0.0f64, f64::max);
+    if (actual - result.radius).abs() > TOL * (1.0 + actual.abs()) {
+        return Err(VerifyError::ObjectiveMismatch {
+            reported: result.radius,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Checks a diversity result: `min(k, n)` distinct points and a truthful
+/// diversity value.
+pub fn check_diversity<M: MetricSpace + ?Sized>(
+    metric: &M,
+    k: usize,
+    result: &DiversityResult,
+) -> Result<(), VerifyError> {
+    let expected = k.min(metric.n());
+    if result.subset.len() != expected {
+        return Err(VerifyError::WrongSize {
+            expected,
+            got: result.subset.len(),
+        });
+    }
+    check_distinct(&result.subset)?;
+    for p in &result.subset {
+        if p.idx() >= metric.n() {
+            return Err(VerifyError::NotInGroundSet(*p));
+        }
+    }
+    let actual = min_pairwise_distance(metric, &result.subset);
+    let matches = if actual.is_finite() {
+        (actual - result.diversity).abs() <= TOL * (1.0 + actual.abs())
+    } else {
+        !result.diversity.is_finite()
+    };
+    if !matches {
+        return Err(VerifyError::ObjectiveMismatch {
+            reported: result.diversity,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Checks a k-supplier result: ≤ k distinct suppliers from the supplier
+/// ground set, radius realized over the customers.
+pub fn check_ksupplier<M: MetricSpace + ?Sized>(
+    metric: &M,
+    customers: &[u32],
+    suppliers: &[u32],
+    k: usize,
+    result: &KSupplierResult,
+) -> Result<(), VerifyError> {
+    if result.suppliers.len() > k {
+        return Err(VerifyError::WrongSize {
+            expected: k,
+            got: result.suppliers.len(),
+        });
+    }
+    check_distinct(&result.suppliers)?;
+    for s in &result.suppliers {
+        if !suppliers.contains(&s.0) {
+            return Err(VerifyError::NotInGroundSet(*s));
+        }
+    }
+    let actual = customers
+        .iter()
+        .map(|&c| dist_point_to_set(metric, PointId(c), &result.suppliers))
+        .fold(0.0f64, f64::max);
+    if (actual - result.radius).abs() > TOL * (1.0 + actual.abs()) {
+        return Err(VerifyError::ObjectiveMismatch {
+            reported: result.radius,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Checks a raw k-bounded MIS against Definition 1 over the full vertex
+/// set of `G_tau`.
+pub fn check_k_bounded_mis<M: MetricSpace + ?Sized>(
+    metric: &M,
+    tau: f64,
+    k: usize,
+    set: &[u32],
+) -> Result<(), VerifyError> {
+    let g = ThresholdGraph::new(metric, tau);
+    let universe: Vec<u32> = (0..metric.n() as u32).collect();
+    if is_k_bounded_mis(&g, set, &universe, k) {
+        Ok(())
+    } else {
+        Err(VerifyError::NotKBoundedMis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diversity::mpc_diversity;
+    use crate::kcenter::mpc_kcenter;
+    use crate::ksupplier::mpc_ksupplier;
+    use crate::Params;
+    use mpc_metric::{datasets, EuclideanSpace};
+
+    #[test]
+    fn real_results_verify() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(100, 2, 3));
+        let params = Params::practical(3, 0.1, 3);
+        let kc = mpc_kcenter(&metric, 5, &params);
+        assert_eq!(check_kcenter(&metric, 5, &kc), Ok(()));
+        let dv = mpc_diversity(&metric, 5, &params);
+        assert_eq!(check_diversity(&metric, 5, &dv), Ok(()));
+        let customers: Vec<u32> = (0..70).collect();
+        let suppliers: Vec<u32> = (70..100).collect();
+        let ks = mpc_ksupplier(&metric, &customers, &suppliers, 4, &params);
+        assert_eq!(
+            check_ksupplier(&metric, &customers, &suppliers, 4, &ks),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn tampered_results_are_caught() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(50, 2, 7));
+        let params = Params::practical(2, 0.1, 7);
+        let mut kc = mpc_kcenter(&metric, 4, &params);
+
+        let honest_radius = kc.radius;
+        kc.radius = honest_radius / 2.0;
+        assert!(matches!(
+            check_kcenter(&metric, 4, &kc),
+            Err(VerifyError::ObjectiveMismatch { .. })
+        ));
+        kc.radius = honest_radius;
+        kc.centers.push(kc.centers[0]);
+        assert!(matches!(
+            check_kcenter(&metric, 8, &kc),
+            Err(VerifyError::Duplicates)
+        ));
+        kc.centers.pop();
+        kc.centers.push(PointId(9999));
+        assert!(matches!(
+            check_kcenter(&metric, 8, &kc),
+            Err(VerifyError::NotInGroundSet(_))
+        ));
+
+        let mut dv = mpc_diversity(&metric, 4, &params);
+        dv.diversity *= 2.0;
+        assert!(matches!(
+            check_diversity(&metric, 4, &dv),
+            Err(VerifyError::ObjectiveMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn size_violations_are_caught() {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(50, 2, 9));
+        let params = Params::practical(2, 0.1, 9);
+        let kc = mpc_kcenter(&metric, 5, &params);
+        assert!(matches!(
+            check_kcenter(&metric, 2, &kc),
+            Err(VerifyError::WrongSize { .. })
+        ));
+    }
+
+    #[test]
+    fn mis_check_agrees_with_algorithm() {
+        use mpc_sim::{Cluster, Partition};
+        let metric = EuclideanSpace::new(datasets::uniform_cube(80, 2, 11));
+        let params = Params::practical(2, 0.1, 11);
+        let mut cluster = Cluster::new(2, 11);
+        let alive = Partition::round_robin(80, 2).all_items().to_vec();
+        let res =
+            crate::kbmis::k_bounded_mis(&mut cluster, &metric, &alive, 0.2, 6, 80, &params, false);
+        assert_eq!(check_k_bounded_mis(&metric, 0.2, 6, &res.set), Ok(()));
+        // A non-maximal strict subset of size < k must fail.
+        if res.set.len() >= 2 {
+            assert_eq!(
+                check_k_bounded_mis(&metric, 0.2, 6, &res.set[..1]),
+                Err(VerifyError::NotKBoundedMis)
+            );
+        }
+    }
+}

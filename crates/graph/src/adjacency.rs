@@ -1,0 +1,122 @@
+//! Explicit adjacency-list graphs, used in unit tests of the MIS machinery
+//! and to materialize small threshold graphs for exact baselines.
+
+use crate::GraphView;
+
+/// An explicit undirected graph over vertices `0..n` with sorted adjacency
+/// lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyGraph {
+    adj: Vec<Vec<u32>>,
+}
+
+impl AdjacencyGraph {
+    /// An edgeless graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds from an edge list; duplicate edges and self-loops are
+    /// rejected.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Self::empty(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Materializes any [`GraphView`] restricted to `vertices` (ids are
+    /// preserved; vertices outside the slice are isolated).
+    pub fn materialize<G: GraphView>(view: &G, vertices: &[u32]) -> Self {
+        let mut g = Self::empty(view.n_vertices());
+        for (i, &u) in vertices.iter().enumerate() {
+            for &v in &vertices[i + 1..] {
+                if view.is_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Adds the undirected edge `{u, v}`; panics on self-loops, duplicates,
+    /// or out-of-range ids.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert_ne!(u, v, "self-loop");
+        let n = self.adj.len() as u32;
+        assert!(u < n && v < n, "vertex out of range");
+        let pos = self.adj[u as usize]
+            .binary_search(&v)
+            .expect_err("duplicate edge");
+        self.adj[u as usize].insert(pos, v);
+        let pos = self.adj[v as usize]
+            .binary_search(&u)
+            .expect_err("duplicate edge");
+        self.adj[v as usize].insert(pos, u);
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Sorted neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+impl GraphView for AdjacencyGraph {
+    fn n_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn is_edge(&self, u: u32, v: u32) -> bool {
+        u != v && self.adj[u as usize].binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle() {
+        let g = AdjacencyGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.is_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicates() {
+        AdjacencyGraph::from_edges(2, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        AdjacencyGraph::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn materialize_restricts_to_subset() {
+        // Path 0-1-2-3 as an explicit view; materialize on {0, 1, 3}.
+        let full = AdjacencyGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sub = AdjacencyGraph::materialize(&full, &[0, 1, 3]);
+        assert!(sub.is_edge(0, 1));
+        assert!(!sub.is_edge(1, 2), "vertex 2 excluded");
+        assert!(!sub.is_edge(2, 3));
+        assert_eq!(sub.edge_count(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Graph substrate: threshold graphs over metric spaces, explicit graphs,
+//! and maximal-independent-set primitives.
+//!
+//! The paper's central object is the *threshold graph* `G_τ` on a point set
+//! `V`: vertices are points, and `u ~ v` iff `d(u, v) ≤ τ` (§2). All of its
+//! algorithms reduce to finding a *k-bounded MIS* in such graphs —
+//! either a maximal independent set of size ≤ k, or an independent set of
+//! size exactly k (Definition 1).
+//!
+//! This crate provides:
+//!
+//! * [`GraphView`] — the adjacency oracle both implicit
+//!   ([`ThresholdGraph`]) and explicit ([`AdjacencyGraph`]) graphs expose;
+//! * sequential MIS algorithms ([`mis::greedy_mis`],
+//!   [`mis::greedy_k_bounded_mis`], [`mis::luby_mis`]) used as reference
+//!   implementations and baselines;
+//! * the paper's [`mis::trim`] primitive (the "local variant of Luby's
+//!   algorithm" of §5) with configurable tie-breaking;
+//! * verification predicates ([`verify`]) used across the test suites.
+
+pub mod adjacency;
+pub mod mis;
+pub mod threshold;
+pub mod verify;
+
+pub use adjacency::AdjacencyGraph;
+pub use threshold::ThresholdGraph;
+
+/// An adjacency oracle over vertices identified by `u32` ids.
+///
+/// `is_edge` must be symmetric and irreflexive. Implementations are `Sync`
+/// so per-machine computation can query them under rayon.
+pub trait GraphView: Sync {
+    /// Upper bound (exclusive) on vertex ids.
+    fn n_vertices(&self) -> usize;
+
+    /// Whether distinct vertices `u` and `v` are adjacent. Must return
+    /// `false` when `u == v`.
+    fn is_edge(&self, u: u32, v: u32) -> bool;
+
+    /// Number of neighbors of `v` within `candidates` (which may contain
+    /// `v` itself; self-loops never count).
+    fn degree_among(&self, v: u32, candidates: &[u32]) -> usize {
+        candidates.iter().filter(|&&u| self.is_edge(v, u)).count()
+    }
+
+    /// The neighbors of `v` within `candidates`.
+    fn neighbors_among(&self, v: u32, candidates: &[u32]) -> Vec<u32> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&u| self.is_edge(v, u))
+            .collect()
+    }
+}
+
+impl<G: GraphView + ?Sized> GraphView for &G {
+    fn n_vertices(&self) -> usize {
+        (**self).n_vertices()
+    }
+    fn is_edge(&self, u: u32, v: u32) -> bool {
+        (**self).is_edge(u, v)
+    }
+}

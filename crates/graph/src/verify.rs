@@ -1,0 +1,82 @@
+//! Verification predicates for independent sets — the invariants every
+//! test suite in the workspace checks against.
+
+use crate::GraphView;
+
+/// True iff no two vertices of `set` are adjacent.
+pub fn is_independent<G: GraphView>(view: &G, set: &[u32]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if view.is_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// True iff every vertex of `universe` is in `set` or adjacent to a member
+/// of `set` (i.e. `set` dominates `universe`; together with independence
+/// this is maximality of the independent set within `universe`).
+pub fn is_maximal<G: GraphView>(view: &G, set: &[u32], universe: &[u32]) -> bool {
+    universe
+        .iter()
+        .all(|&v| set.contains(&v) || set.iter().any(|&s| view.is_edge(v, s)))
+}
+
+/// Definition 1 of the paper: `set` is a k-bounded MIS of the subgraph
+/// induced by `universe` iff it is independent and either
+/// (a) maximal with `|set| ≤ k`, or (b) of size exactly `k`.
+pub fn is_k_bounded_mis<G: GraphView>(view: &G, set: &[u32], universe: &[u32], k: usize) -> bool {
+    if !is_independent(view, set) {
+        return false;
+    }
+    if set.len() == k {
+        return true;
+    }
+    set.len() < k && is_maximal(view, set, universe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AdjacencyGraph;
+
+    fn path4() -> AdjacencyGraph {
+        AdjacencyGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn independence() {
+        let g = path4();
+        assert!(is_independent(&g, &[0, 2]));
+        assert!(is_independent(&g, &[]));
+        assert!(!is_independent(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn maximality() {
+        let g = path4();
+        let universe = [0, 1, 2, 3];
+        assert!(is_maximal(&g, &[0, 2], &universe)); // 3 adjacent to 2
+        assert!(is_maximal(&g, &[1, 3], &universe));
+        assert!(!is_maximal(&g, &[0], &universe)); // 3 uncovered
+        assert!(is_maximal(&g, &[0], &[0, 1]));
+    }
+
+    #[test]
+    fn k_bounded_cases() {
+        let g = path4();
+        let universe = [0, 1, 2, 3];
+        // Size exactly k, independent but not maximal: valid.
+        assert!(is_k_bounded_mis(&g, &[0], &universe, 1));
+        // Maximal of size 2 <= k = 3: valid.
+        assert!(is_k_bounded_mis(&g, &[0, 2], &universe, 3));
+        // Not independent: invalid even at size k.
+        assert!(!is_k_bounded_mis(&g, &[0, 1], &universe, 2));
+        // Size < k and not maximal: invalid.
+        assert!(!is_k_bounded_mis(&g, &[0], &universe, 2));
+        // Size > k is impossible to satisfy.
+        assert!(!is_k_bounded_mis(&g, &[0, 2], &universe, 1));
+    }
+}

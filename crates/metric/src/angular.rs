@@ -1,0 +1,113 @@
+//! Angular (arc-cosine of cosine similarity) metric — the proper-metric
+//! counterpart of cosine similarity, ubiquitous for embedding vectors.
+//!
+//! Plain "cosine distance" `1 − cos θ` violates the triangle inequality;
+//! the angle `θ = arccos(cos θ)` itself is a genuine metric on the unit
+//! sphere, so that is what this space implements.
+
+use crate::point::{PointId, PointSet};
+use crate::space::MetricSpace;
+
+/// The angular metric `d(x, y) = arccos(⟨x, y⟩ / (‖x‖‖y‖))` in radians.
+///
+/// Construction rejects zero vectors (their angle is undefined). Norms are
+/// precomputed so the oracle stays O(dim).
+#[derive(Debug, Clone)]
+pub struct AngularSpace {
+    points: PointSet,
+    inv_norms: Vec<f64>,
+}
+
+impl AngularSpace {
+    /// Wraps a point set with the angular metric; panics on zero vectors.
+    pub fn new(points: PointSet) -> Self {
+        let inv_norms: Vec<f64> = (0..points.len())
+            .map(|i| {
+                let c = points.coords(PointId::from(i));
+                let norm = c.iter().map(|x| x * x).sum::<f64>().sqrt();
+                assert!(norm > 0.0, "zero vector at index {i} has no direction");
+                1.0 / norm
+            })
+            .collect();
+        Self { points, inv_norms }
+    }
+
+    /// The underlying point set.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+}
+
+impl MetricSpace for AngularSpace {
+    fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let a = self.points.coords(i);
+        let b = self.points.coords(j);
+        let mut dot = 0.0;
+        for d in 0..a.len() {
+            dot += a[d] * b[d];
+        }
+        let cos = (dot * self.inv_norms[i.idx()] * self.inv_norms[j.idx()]).clamp(-1.0, 1.0);
+        cos.acos()
+    }
+
+    fn point_weight(&self) -> u64 {
+        self.points.dim() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn space() -> AngularSpace {
+        AngularSpace::new(PointSet::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![-1.0, 0.0],
+            vec![5.0, 0.0], // same direction as point 0, different magnitude
+        ]))
+    }
+
+    #[test]
+    fn right_angles_and_opposites() {
+        let m = space();
+        assert!((m.dist(PointId(0), PointId(1)) - FRAC_PI_2).abs() < 1e-12);
+        assert!((m.dist(PointId(0), PointId(2)) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_invariant() {
+        let m = space();
+        assert_eq!(m.dist(PointId(0), PointId(3)), 0.0);
+        assert!((m.dist(PointId(1), PointId(3)) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn satisfies_metric_axioms() {
+        use crate::datasets;
+        // Random directions (shift cube points away from the origin).
+        let mut rows = Vec::new();
+        let ps = datasets::uniform_cube(80, 3, 5);
+        for id in ps.ids() {
+            let c = ps.coords(id);
+            rows.push(vec![c[0] + 0.1, c[1] + 0.1, c[2] + 0.1]);
+        }
+        let m = AngularSpace::new(PointSet::from_rows(&rows));
+        assert_eq!(crate::validate::check_metric_axioms(&m, 800, 1e-9, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn rejects_zero_vectors() {
+        AngularSpace::new(PointSet::from_rows(&[vec![0.0, 0.0]]));
+    }
+}

@@ -1,0 +1,262 @@
+//! Deterministic synthetic dataset generators.
+//!
+//! Every generator is seeded with a `u64` and driven by ChaCha8, so a
+//! (generator, seed, parameters) triple reproduces bit-identical datasets
+//! across runs, platforms, and thread schedules — a prerequisite for the
+//! experiment harness.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::point::PointSet;
+
+fn rng_for(seed: u64, salt: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One standard-normal draw via Box–Muller (keeps us off `rand_distr`).
+fn gaussian(rng: &mut impl RngExt) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `n` points uniform in the unit cube `[0, 1]^dim`.
+pub fn uniform_cube(n: usize, dim: usize, seed: u64) -> PointSet {
+    let mut rng = rng_for(seed, 1);
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        data.push(rng.random_range(0.0..1.0));
+    }
+    PointSet::new(data, dim)
+}
+
+/// `n` points from a mixture of `clusters` spherical Gaussians with standard
+/// deviation `sigma`, centers uniform in the unit cube. Equal mixture
+/// weights; points are emitted cluster-interleaved so any prefix is still a
+/// mixture.
+pub fn gaussian_clusters(n: usize, dim: usize, clusters: usize, sigma: f64, seed: u64) -> PointSet {
+    assert!(clusters > 0);
+    let mut rng = rng_for(seed, 2);
+    let mut centers = Vec::with_capacity(clusters * dim);
+    for _ in 0..clusters * dim {
+        centers.push(rng.random_range(0.0..1.0));
+    }
+    let mut data = Vec::with_capacity(n * dim);
+    for i in 0..n {
+        let c = i % clusters;
+        for d in 0..dim {
+            data.push(centers[c * dim + d] + sigma * gaussian(&mut rng));
+        }
+    }
+    PointSet::new(data, dim)
+}
+
+/// Like [`gaussian_clusters`] but with power-law cluster sizes (`size_j ∝
+/// 1/(j+1)^alpha`): a few huge clusters and a long tail of tiny ones, the
+/// regime where coreset baselines degrade.
+pub fn powerlaw_clusters(
+    n: usize,
+    dim: usize,
+    clusters: usize,
+    alpha: f64,
+    sigma: f64,
+    seed: u64,
+) -> PointSet {
+    assert!(clusters > 0 && clusters <= n);
+    let mut rng = rng_for(seed, 3);
+    let mut centers = Vec::with_capacity(clusters * dim);
+    for _ in 0..clusters * dim {
+        centers.push(rng.random_range(0.0..1.0));
+    }
+    // Power-law sizes, then round so they sum to n with each cluster >= 1.
+    let weights: Vec<f64> = (0..clusters)
+        .map(|j| 1.0 / ((j + 1) as f64).powf(alpha))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * n as f64) as usize)
+        .collect();
+    for s in sizes.iter_mut() {
+        if *s == 0 {
+            *s = 1;
+        }
+    }
+    while sizes.iter().sum::<usize>() > n {
+        let j = sizes.iter().enumerate().max_by_key(|(_, &s)| s).unwrap().0;
+        sizes[j] -= 1;
+    }
+    while sizes.iter().sum::<usize>() < n {
+        sizes[0] += 1;
+    }
+    let mut data = Vec::with_capacity(n * dim);
+    for (c, &size) in sizes.iter().enumerate() {
+        for _ in 0..size {
+            for d in 0..dim {
+                data.push(centers[c * dim + d] + sigma * gaussian(&mut rng));
+            }
+        }
+    }
+    PointSet::new(data, dim)
+}
+
+/// `n` points on a 2-D annulus with radii in `[inner, outer]` — a workload
+/// where cluster structure is absent and thresholds sweep smoothly.
+pub fn annulus(n: usize, inner: f64, outer: f64, seed: u64) -> PointSet {
+    assert!(0.0 <= inner && inner <= outer);
+    let mut rng = rng_for(seed, 4);
+    let mut data = Vec::with_capacity(n * 2);
+    for _ in 0..n {
+        let theta = rng.random_range(0.0..std::f64::consts::TAU);
+        // Area-uniform radius within the annulus.
+        let r2 = rng.random_range(inner * inner..=outer * outer);
+        let r = r2.sqrt();
+        data.push(r * theta.cos());
+        data.push(r * theta.sin());
+    }
+    PointSet::new(data, 2)
+}
+
+/// A `side × side` unit grid in 2-D (deterministic, no randomness): the
+/// worst case for greedy center placement and a fixture with known optimal
+/// k-center/k-diversity values for small sizes.
+pub fn grid(side: usize) -> PointSet {
+    let mut data = Vec::with_capacity(side * side * 2);
+    for x in 0..side {
+        for y in 0..side {
+            data.push(x as f64);
+            data.push(y as f64);
+        }
+    }
+    PointSet::new(data, 2)
+}
+
+/// An adversarial instance for GMM-style greedy algorithms: `k` tight groups
+/// at mutual distance ~1 plus one far outlier group at distance `spread`.
+/// Sequential GMM handles it, but per-machine coresets can miss structure
+/// when the partition splits groups.
+pub fn adversarial_outlier(n: usize, k: usize, spread: f64, seed: u64) -> PointSet {
+    assert!(k >= 2 && n >= k);
+    let mut rng = rng_for(seed, 5);
+    let mut data = Vec::with_capacity(n * 2);
+    // k - 1 groups on a unit circle, 1 group far away.
+    for i in 0..n {
+        let g = i % k;
+        let (cx, cy) = if g == k - 1 {
+            (spread, 0.0)
+        } else {
+            let ang = std::f64::consts::TAU * (g as f64) / ((k - 1) as f64);
+            (ang.cos(), ang.sin())
+        };
+        data.push(cx + 1e-3 * gaussian(&mut rng));
+        data.push(cy + 1e-3 * gaussian(&mut rng));
+    }
+    PointSet::new(data, 2)
+}
+
+/// Random binary feature vectors for [`crate::HammingSpace`]: `n` points,
+/// `bits` features, each set independently with probability `density`.
+pub fn random_bitsets(n: usize, bits: usize, density: f64, seed: u64) -> Vec<Vec<usize>> {
+    assert!((0.0..=1.0).contains(&density));
+    let mut rng = rng_for(seed, 6);
+    (0..n)
+        .map(|_| {
+            (0..bits)
+                .filter(|_| rng.random_range(0.0..1.0) < density)
+                .collect()
+        })
+        .collect()
+}
+
+/// A connected random geometric-style road network for
+/// [`crate::GraphMetricSpace`]: `n` vertices on a random spanning tree plus
+/// `extra_edges` random chords, weights uniform in `[1, 10]`.
+pub fn random_road_network(n: usize, extra_edges: usize, seed: u64) -> Vec<(usize, usize, f64)> {
+    assert!(n >= 2);
+    let mut rng = rng_for(seed, 7);
+    let mut edges = Vec::with_capacity(n - 1 + extra_edges);
+    // Random spanning tree: attach vertex i to a random earlier vertex.
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        edges.push((parent, i, rng.random_range(1.0..10.0)));
+    }
+    for _ in 0..extra_edges {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b {
+            edges.push((a, b, rng.random_range(1.0..10.0)));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_cube(50, 3, 7), uniform_cube(50, 3, 7));
+        assert_eq!(
+            gaussian_clusters(40, 2, 4, 0.05, 9),
+            gaussian_clusters(40, 2, 4, 0.05, 9)
+        );
+        assert_ne!(uniform_cube(50, 3, 7), uniform_cube(50, 3, 8));
+    }
+
+    #[test]
+    fn sizes_and_dims_are_respected() {
+        assert_eq!(uniform_cube(10, 5, 1).len(), 10);
+        assert_eq!(uniform_cube(10, 5, 1).dim(), 5);
+        assert_eq!(gaussian_clusters(33, 4, 5, 0.1, 1).len(), 33);
+        assert_eq!(powerlaw_clusters(100, 2, 10, 1.5, 0.01, 1).len(), 100);
+        assert_eq!(annulus(25, 1.0, 2.0, 1).len(), 25);
+        assert_eq!(grid(4).len(), 16);
+        assert_eq!(adversarial_outlier(30, 5, 100.0, 1).len(), 30);
+    }
+
+    #[test]
+    fn annulus_respects_radii() {
+        let ps = annulus(200, 2.0, 3.0, 42);
+        for id in ps.ids() {
+            let c = ps.coords(id);
+            let r = (c[0] * c[0] + c[1] * c[1]).sqrt();
+            assert!(
+                (2.0 - 1e-9..=3.0 + 1e-9).contains(&r),
+                "radius {r} outside annulus"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_is_integer_lattice() {
+        let ps = grid(3);
+        let mut seen = std::collections::HashSet::new();
+        for id in ps.ids() {
+            let c = ps.coords(id);
+            assert_eq!(c[0].fract(), 0.0);
+            assert_eq!(c[1].fract(), 0.0);
+            seen.insert((c[0] as i64, c[1] as i64));
+        }
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn road_network_is_connected() {
+        let edges = random_road_network(30, 10, 3);
+        let g = crate::GraphMetricSpace::from_edges(30, &edges);
+        assert!(
+            g.is_ok(),
+            "spanning-tree construction must connect the graph"
+        );
+    }
+
+    #[test]
+    fn bitsets_respect_density_extremes() {
+        let none = random_bitsets(10, 64, 0.0, 1);
+        assert!(none.iter().all(|b| b.is_empty()));
+        let all = random_bitsets(10, 64, 1.0, 1);
+        assert!(all.iter().all(|b| b.len() == 64));
+    }
+}

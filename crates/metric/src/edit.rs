@@ -1,0 +1,127 @@
+//! Levenshtein (edit-distance) metric over byte strings — sequence data
+//! (k-center over reads/keywords) as yet another non-geometric space.
+//!
+//! Pairwise edit distance is O(len²); the space computes distances **on
+//! demand** with a small LRU-free memo of the full matrix when `n` is
+//! modest, because the clustering algorithms revisit pairs.
+
+use parking_lot::Mutex;
+
+use crate::point::PointId;
+use crate::space::MetricSpace;
+
+/// Levenshtein distance metric over a set of byte strings.
+///
+/// Distances are memoized in a shared upper-triangle cache (thread-safe,
+/// so rayon-parallel machine computation reuses entries).
+#[derive(Debug)]
+pub struct EditDistanceSpace {
+    strings: Vec<Vec<u8>>,
+    // memo[i * n + j] = distance + 1 (0 = unset); Mutex keeps it simple —
+    // the O(len²) DP dwarfs the lock cost.
+    memo: Mutex<Vec<u32>>,
+}
+
+fn levenshtein(a: &[u8], b: &[u8]) -> u32 {
+    if a.is_empty() {
+        return b.len() as u32;
+    }
+    if b.is_empty() {
+        return a.len() as u32;
+    }
+    let mut prev: Vec<u32> = (0..=b.len() as u32).collect();
+    let mut cur = vec![0u32; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i as u32 + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + u32::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+impl EditDistanceSpace {
+    /// Builds the space over the given strings.
+    pub fn new<S: AsRef<[u8]>>(strings: &[S]) -> Self {
+        let strings: Vec<Vec<u8>> = strings.iter().map(|s| s.as_ref().to_vec()).collect();
+        let n = strings.len();
+        Self {
+            strings,
+            memo: Mutex::new(vec![0u32; n * n]),
+        }
+    }
+
+    /// The string behind a point id.
+    pub fn string(&self, i: PointId) -> &[u8] {
+        &self.strings[i.idx()]
+    }
+}
+
+impl MetricSpace for EditDistanceSpace {
+    fn n(&self) -> usize {
+        self.strings.len()
+    }
+
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let n = self.strings.len();
+        let key = i.idx() * n + j.idx();
+        {
+            let memo = self.memo.lock();
+            let v = memo[key];
+            if v != 0 {
+                return (v - 1) as f64;
+            }
+        }
+        let d = levenshtein(&self.strings[i.idx()], &self.strings[j.idx()]);
+        let mut memo = self.memo.lock();
+        memo[key] = d + 1;
+        memo[j.idx() * n + i.idx()] = d + 1;
+        d as f64
+    }
+
+    fn point_weight(&self) -> u64 {
+        // Average string length in 8-byte words, at least 1.
+        let total: usize = self.strings.iter().map(Vec::len).sum();
+        ((total / self.strings.len().max(1)) as u64 / 8).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_distances() {
+        let m = EditDistanceSpace::new(&["kitten", "sitting", "", "kitten"]);
+        assert_eq!(m.dist(PointId(0), PointId(1)), 3.0);
+        assert_eq!(m.dist(PointId(0), PointId(2)), 6.0);
+        assert_eq!(m.dist(PointId(0), PointId(3)), 0.0);
+        assert_eq!(m.dist(PointId(2), PointId(2)), 0.0);
+    }
+
+    #[test]
+    fn memo_is_consistent_and_symmetric() {
+        let m = EditDistanceSpace::new(&["abc", "axc", "xyz"]);
+        let d1 = m.dist(PointId(0), PointId(1));
+        let d2 = m.dist(PointId(1), PointId(0)); // memo hit, reversed
+        assert_eq!(d1, d2);
+        assert_eq!(d1, 1.0);
+    }
+
+    #[test]
+    fn satisfies_metric_axioms() {
+        let words: Vec<String> = (0..40)
+            .map(|i| format!("{:06b}x{:04}", i % 64, (i * 37) % 97))
+            .collect();
+        let m = EditDistanceSpace::new(&words);
+        assert_eq!(
+            crate::validate::check_metric_axioms(&m, 1500, 1e-9, 5),
+            None
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Euclidean (L2) metric over flat point storage.
+
+use crate::point::{PointId, PointSet};
+use crate::space::MetricSpace;
+
+/// The Euclidean metric `d(x, y) = ||x - y||_2` over a [`PointSet`].
+#[derive(Debug, Clone)]
+pub struct EuclideanSpace {
+    points: PointSet,
+}
+
+impl EuclideanSpace {
+    /// Wraps a point set with the L2 metric.
+    pub fn new(points: PointSet) -> Self {
+        Self { points }
+    }
+
+    /// The underlying point set.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// Squared distance; cheaper than [`MetricSpace::dist`] when only
+    /// comparisons are needed. (Note: squared L2 is *not* itself a metric.)
+    #[inline]
+    pub fn dist_sq(&self, i: PointId, j: PointId) -> f64 {
+        let a = self.points.coords(i);
+        let b = self.points.coords(j);
+        // Simple indexed loop: auto-vectorizes for the common small dims.
+        let mut acc = 0.0;
+        for d in 0..a.len() {
+            let t = a[d] - b[d];
+            acc += t * t;
+        }
+        acc
+    }
+}
+
+impl MetricSpace for EuclideanSpace {
+    fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        self.dist_sq(i, j).sqrt()
+    }
+
+    fn point_weight(&self) -> u64 {
+        self.points.dim() as u64
+    }
+
+    #[inline]
+    fn within(&self, i: PointId, j: PointId, tau: f64) -> bool {
+        // Avoids the sqrt on the hot threshold-graph adjacency path.
+        tau >= 0.0 && self.dist_sq(i, j) <= tau * tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> EuclideanSpace {
+        EuclideanSpace::new(PointSet::from_rows(&[
+            vec![0.0, 0.0],
+            vec![3.0, 4.0],
+            vec![-3.0, -4.0],
+        ]))
+    }
+
+    #[test]
+    fn pythagoras() {
+        let m = space();
+        assert_eq!(m.dist(PointId(0), PointId(1)), 5.0);
+        assert_eq!(m.dist(PointId(1), PointId(2)), 10.0);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let m = space();
+        assert_eq!(m.dist(PointId(1), PointId(1)), 0.0);
+        assert_eq!(
+            m.dist(PointId(0), PointId(2)),
+            m.dist(PointId(2), PointId(0))
+        );
+    }
+
+    #[test]
+    fn within_avoids_sqrt_consistently() {
+        let m = space();
+        assert!(m.within(PointId(0), PointId(1), 5.0));
+        assert!(!m.within(PointId(0), PointId(1), 4.999));
+        assert!(!m.within(PointId(0), PointId(1), -1.0));
+    }
+
+    #[test]
+    fn point_weight_is_dimension() {
+        assert_eq!(space().point_weight(), 2);
+    }
+}

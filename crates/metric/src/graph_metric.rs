@@ -1,0 +1,195 @@
+//! Shortest-path metric of a weighted undirected graph — an important
+//! non-geometric metric family (e.g. road networks for facility location).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::matrix::{MatrixSpace, MatrixSpaceError};
+use crate::point::PointId;
+use crate::space::MetricSpace;
+
+/// The shortest-path metric of a connected weighted undirected graph,
+/// precomputed into a distance matrix by running Dijkstra from every vertex
+/// (in parallel via rayon).
+#[derive(Debug, Clone)]
+pub struct GraphMetricSpace {
+    matrix: MatrixSpace,
+}
+
+/// Errors building a [`GraphMetricSpace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphMetricError {
+    /// An edge references a vertex `>= n`.
+    VertexOutOfRange { edge: (usize, usize), n: usize },
+    /// An edge weight is negative or non-finite.
+    BadWeight { edge: (usize, usize) },
+    /// The graph is disconnected, so some distances are infinite.
+    Disconnected,
+    /// Matrix validation failed (should not happen for valid graphs).
+    Matrix(MatrixSpaceError),
+}
+
+impl std::fmt::Display for GraphMetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::VertexOutOfRange { edge, n } => {
+                write!(f, "edge ({}, {}) references vertex >= {n}", edge.0, edge.1)
+            }
+            Self::BadWeight { edge } => {
+                write!(
+                    f,
+                    "edge ({}, {}) has a negative or non-finite weight",
+                    edge.0, edge.1
+                )
+            }
+            Self::Disconnected => write!(f, "graph is disconnected"),
+            Self::Matrix(e) => write!(f, "matrix validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphMetricError {}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    v: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; ties broken by vertex id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.v.cmp(&self.v))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn dijkstra(n: usize, adj: &[Vec<(usize, f64)>], src: usize) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { dist: 0.0, v: src });
+    while let Some(HeapEntry { dist: d, v }) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for &(u, w) in &adj[v] {
+            let nd = d + w;
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(HeapEntry { dist: nd, v: u });
+            }
+        }
+    }
+    dist
+}
+
+impl GraphMetricSpace {
+    /// Builds the all-pairs shortest-path metric of the undirected graph with
+    /// `n` vertices and weighted `edges`. The graph must be connected and all
+    /// weights non-negative and finite.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self, GraphMetricError> {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b, w) in edges {
+            if a >= n || b >= n {
+                return Err(GraphMetricError::VertexOutOfRange { edge: (a, b), n });
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphMetricError::BadWeight { edge: (a, b) });
+            }
+            adj[a].push((b, w));
+            adj[b].push((a, w));
+        }
+
+        use rayon::prelude::*;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .into_par_iter()
+            .map(|s| dijkstra(n, &adj, s))
+            .collect();
+
+        let mut flat = Vec::with_capacity(n * n);
+        for row in &rows {
+            for &v in row {
+                if !v.is_finite() {
+                    return Err(GraphMetricError::Disconnected);
+                }
+                flat.push(v);
+            }
+        }
+        // Shortest-path distances can be asymmetric only through float
+        // nondeterminism; symmetrize by averaging to keep MatrixSpace happy.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (flat[i * n + j] + flat[j * n + i]);
+                flat[i * n + j] = avg;
+                flat[j * n + i] = avg;
+            }
+        }
+        let matrix = MatrixSpace::new(n, flat).map_err(GraphMetricError::Matrix)?;
+        Ok(Self { matrix })
+    }
+}
+
+impl MetricSpace for GraphMetricSpace {
+    fn n(&self) -> usize {
+        self.matrix.n()
+    }
+
+    #[inline]
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        self.matrix.dist(i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_distances() {
+        // 0 -2- 1 -3- 2, plus a long direct edge 0 -10- 2.
+        let g = GraphMetricSpace::from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0), (0, 2, 10.0)]).unwrap();
+        assert_eq!(g.dist(PointId(0), PointId(2)), 5.0); // via vertex 1
+        assert_eq!(g.dist(PointId(0), PointId(1)), 2.0);
+        assert_eq!(g.dist(PointId(1), PointId(1)), 0.0);
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let err = GraphMetricSpace::from_edges(3, &[(0, 1, 1.0)]).unwrap_err();
+        assert_eq!(err, GraphMetricError::Disconnected);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            GraphMetricSpace::from_edges(2, &[(0, 5, 1.0)]).unwrap_err(),
+            GraphMetricError::VertexOutOfRange { .. }
+        ));
+        assert!(matches!(
+            GraphMetricSpace::from_edges(2, &[(0, 1, -1.0)]).unwrap_err(),
+            GraphMetricError::BadWeight { .. }
+        ));
+    }
+
+    #[test]
+    fn cycle_graph_uses_shorter_arc() {
+        // 4-cycle with unit weights: opposite corners at distance 2.
+        let g =
+            GraphMetricSpace::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+                .unwrap();
+        assert_eq!(g.dist(PointId(0), PointId(2)), 2.0);
+        assert_eq!(g.dist(PointId(1), PointId(3)), 2.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Hamming metric over packed bit vectors — a discrete metric space used to
+//! demonstrate the algorithms beyond geometric inputs (e.g. feature-set
+//! diversity in information retrieval, the paper's motivating application).
+
+use crate::point::PointId;
+use crate::space::MetricSpace;
+
+/// Hamming distance over fixed-width binary strings, stored packed as
+/// `u64` limbs.
+#[derive(Debug, Clone)]
+pub struct HammingSpace {
+    /// `limbs_per_point` u64 words per point, row-major.
+    limbs: Vec<u64>,
+    limbs_per_point: usize,
+    bits: usize,
+    n: usize,
+}
+
+impl HammingSpace {
+    /// Builds a space of `n` points, each a `bits`-wide binary string, from a
+    /// per-point slice of bit indices that are set.
+    pub fn from_set_bits(n: usize, bits: usize, set_bits: &[Vec<usize>]) -> Self {
+        assert_eq!(set_bits.len(), n);
+        assert!(bits > 0);
+        let lpp = bits.div_ceil(64);
+        let mut limbs = vec![0u64; n * lpp];
+        for (p, row) in set_bits.iter().enumerate() {
+            for &b in row {
+                assert!(b < bits, "bit index {b} out of range {bits}");
+                limbs[p * lpp + b / 64] |= 1u64 << (b % 64);
+            }
+        }
+        Self {
+            limbs,
+            limbs_per_point: lpp,
+            bits,
+            n,
+        }
+    }
+
+    /// Bit width of every point.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    #[inline]
+    fn row(&self, i: PointId) -> &[u64] {
+        let s = i.idx() * self.limbs_per_point;
+        &self.limbs[s..s + self.limbs_per_point]
+    }
+}
+
+impl MetricSpace for HammingSpace {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        let (a, b) = (self.row(i), self.row(j));
+        let mut acc = 0u32;
+        for l in 0..a.len() {
+            acc += (a[l] ^ b[l]).count_ones();
+        }
+        acc as f64
+    }
+
+    fn point_weight(&self) -> u64 {
+        self.limbs_per_point as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_differing_bits() {
+        let h = HammingSpace::from_set_bits(
+            3,
+            128,
+            &[vec![0, 1, 2], vec![0, 1, 2, 100], vec![5, 64, 127]],
+        );
+        assert_eq!(h.dist(PointId(0), PointId(1)), 1.0);
+        assert_eq!(h.dist(PointId(0), PointId(2)), 6.0);
+        assert_eq!(h.dist(PointId(1), PointId(1)), 0.0);
+    }
+
+    #[test]
+    fn symmetric_and_triangle() {
+        let h = HammingSpace::from_set_bits(3, 8, &[vec![0], vec![0, 1], vec![2, 3, 4]]);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                assert_eq!(
+                    h.dist(PointId(i), PointId(j)),
+                    h.dist(PointId(j), PointId(i))
+                );
+                for k in 0..3u32 {
+                    assert!(
+                        h.dist(PointId(i), PointId(k))
+                            <= h.dist(PointId(i), PointId(j)) + h.dist(PointId(j), PointId(k))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_bits() {
+        HammingSpace::from_set_bits(1, 8, &[vec![8]]);
+    }
+}

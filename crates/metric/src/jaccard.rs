@@ -1,0 +1,116 @@
+//! Jaccard distance over sets (packed bit vectors) — the standard metric
+//! for shingle/feature-set similarity in near-duplicate detection, another
+//! "any metric space" instantiation from the paper's IR motivation.
+
+use crate::point::PointId;
+use crate::space::MetricSpace;
+
+/// Jaccard distance `d(A, B) = 1 − |A ∩ B| / |A ∪ B|` over fixed-width
+/// bit sets (a genuine metric; the empty set is at distance 1 from every
+/// non-empty set and 0 from itself).
+#[derive(Debug, Clone)]
+pub struct JaccardSpace {
+    limbs: Vec<u64>,
+    limbs_per_point: usize,
+    n: usize,
+}
+
+impl JaccardSpace {
+    /// Builds from per-point lists of set-bit indices (`bits`-wide sets).
+    pub fn from_set_bits(n: usize, bits: usize, set_bits: &[Vec<usize>]) -> Self {
+        assert_eq!(set_bits.len(), n);
+        assert!(bits > 0);
+        let lpp = bits.div_ceil(64);
+        let mut limbs = vec![0u64; n * lpp];
+        for (p, row) in set_bits.iter().enumerate() {
+            for &b in row {
+                assert!(b < bits, "bit index {b} out of range {bits}");
+                limbs[p * lpp + b / 64] |= 1u64 << (b % 64);
+            }
+        }
+        Self {
+            limbs,
+            limbs_per_point: lpp,
+            n,
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: PointId) -> &[u64] {
+        let s = i.idx() * self.limbs_per_point;
+        &self.limbs[s..s + self.limbs_per_point]
+    }
+}
+
+impl MetricSpace for JaccardSpace {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        let (a, b) = (self.row(i), self.row(j));
+        let mut inter = 0u32;
+        let mut union = 0u32;
+        for l in 0..a.len() {
+            inter += (a[l] & b[l]).count_ones();
+            union += (a[l] | b[l]).count_ones();
+        }
+        if union == 0 {
+            0.0 // both empty: identical sets
+        } else {
+            1.0 - inter as f64 / union as f64
+        }
+    }
+
+    fn point_weight(&self) -> u64 {
+        self.limbs_per_point as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let j = JaccardSpace::from_set_bits(
+            4,
+            8,
+            &[vec![0, 1, 2], vec![1, 2, 3], vec![], vec![0, 1, 2]],
+        );
+        // |∩| = 2, |∪| = 4 → d = 0.5
+        assert_eq!(j.dist(PointId(0), PointId(1)), 0.5);
+        // identical sets
+        assert_eq!(j.dist(PointId(0), PointId(3)), 0.0);
+        // empty vs non-empty
+        assert_eq!(j.dist(PointId(0), PointId(2)), 1.0);
+        // empty vs empty
+        assert_eq!(j.dist(PointId(2), PointId(2)), 0.0);
+    }
+
+    #[test]
+    fn satisfies_metric_axioms() {
+        use crate::datasets;
+        let bits = datasets::random_bitsets(100, 96, 0.25, 9);
+        let j = JaccardSpace::from_set_bits(100, 96, &bits);
+        assert_eq!(
+            crate::validate::check_metric_axioms(&j, 2000, 1e-9, 4),
+            None
+        );
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        let bits = datasets::random_bitsets(50, 64, 0.5, 3);
+        let j = JaccardSpace::from_set_bits(50, 64, &bits);
+        for i in 0..50u32 {
+            for k in 0..50u32 {
+                let d = j.dist(PointId(i), PointId(k));
+                assert!((0.0..=1.0).contains(&d));
+            }
+        }
+    }
+
+    use crate::datasets;
+}

@@ -1,0 +1,122 @@
+//! Manhattan (L1) and Chebyshev (L∞) metrics — non-Euclidean spaces that
+//! exercise the paper's "any metric space" claim.
+
+use crate::point::{PointId, PointSet};
+use crate::space::MetricSpace;
+
+/// The Manhattan metric `d(x, y) = sum_d |x_d - y_d|`.
+#[derive(Debug, Clone)]
+pub struct ManhattanSpace {
+    points: PointSet,
+}
+
+impl ManhattanSpace {
+    /// Wraps a point set with the L1 metric.
+    pub fn new(points: PointSet) -> Self {
+        Self { points }
+    }
+
+    /// The underlying point set.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+}
+
+impl MetricSpace for ManhattanSpace {
+    fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        let a = self.points.coords(i);
+        let b = self.points.coords(j);
+        let mut acc = 0.0;
+        for d in 0..a.len() {
+            acc += (a[d] - b[d]).abs();
+        }
+        acc
+    }
+
+    fn point_weight(&self) -> u64 {
+        self.points.dim() as u64
+    }
+}
+
+/// The Chebyshev metric `d(x, y) = max_d |x_d - y_d|`.
+#[derive(Debug, Clone)]
+pub struct ChebyshevSpace {
+    points: PointSet,
+}
+
+impl ChebyshevSpace {
+    /// Wraps a point set with the L∞ metric.
+    pub fn new(points: PointSet) -> Self {
+        Self { points }
+    }
+
+    /// The underlying point set.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+}
+
+impl MetricSpace for ChebyshevSpace {
+    fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        let a = self.points.coords(i);
+        let b = self.points.coords(j);
+        let mut acc = 0.0f64;
+        for d in 0..a.len() {
+            acc = acc.max((a[d] - b[d]).abs());
+        }
+        acc
+    }
+
+    fn point_weight(&self) -> u64 {
+        self.points.dim() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps() -> PointSet {
+        PointSet::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![1.0, -1.0]])
+    }
+
+    #[test]
+    fn manhattan_sums_coordinates() {
+        let m = ManhattanSpace::new(ps());
+        assert_eq!(m.dist(PointId(0), PointId(1)), 7.0);
+        assert_eq!(m.dist(PointId(0), PointId(2)), 2.0);
+        assert_eq!(m.dist(PointId(1), PointId(1)), 0.0);
+    }
+
+    #[test]
+    fn chebyshev_takes_max_coordinate() {
+        let m = ChebyshevSpace::new(ps());
+        assert_eq!(m.dist(PointId(0), PointId(1)), 4.0);
+        assert_eq!(m.dist(PointId(1), PointId(2)), 5.0);
+    }
+
+    #[test]
+    fn ordering_l1_ge_l2_ge_linf() {
+        // For the same pair, L1 >= L2 >= Linf always holds.
+        let l1 = ManhattanSpace::new(ps());
+        let linf = ChebyshevSpace::new(ps());
+        let l2 = crate::euclidean::EuclideanSpace::new(ps());
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                let (i, j) = (PointId(i), PointId(j));
+                assert!(l1.dist(i, j) >= l2.dist(i, j) - 1e-12);
+                assert!(l2.dist(i, j) >= linf.dist(i, j) - 1e-12);
+            }
+        }
+    }
+}

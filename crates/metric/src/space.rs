@@ -1,0 +1,138 @@
+//! The distance-oracle trait and common set-distance helpers.
+
+use crate::point::PointId;
+
+/// A finite metric space with an O(1) distance oracle, mirroring the paper's
+/// model (§2): "the distance between any two points in the space can be
+/// obtained in O(1) time".
+///
+/// Implementations must satisfy the metric axioms on the id range
+/// `0..n()`:
+///
+/// * identity: `dist(i, i) == 0`;
+/// * symmetry: `dist(i, j) == dist(j, i)`;
+/// * triangle inequality: `dist(i, k) <= dist(i, j) + dist(j, k)`.
+///
+/// [`crate::validate::check_metric_axioms`] spot-checks these on samples;
+/// the property-based tests in this crate exercise them exhaustively on
+/// small instances.
+pub trait MetricSpace: Sync {
+    /// Number of points in the space.
+    fn n(&self) -> usize;
+
+    /// Distance between points `i` and `j`.
+    fn dist(&self, i: PointId, j: PointId) -> f64;
+
+    /// Communication weight of shipping one point between machines, in
+    /// abstract machine words. Euclidean points weigh their dimension;
+    /// id-only metrics weigh 1.
+    fn point_weight(&self) -> u64 {
+        1
+    }
+
+    /// True iff `dist(i, j) <= tau`, i.e. `i` and `j` are adjacent in the
+    /// threshold graph `G_tau`.
+    #[inline]
+    fn within(&self, i: PointId, j: PointId, tau: f64) -> bool {
+        self.dist(i, j) <= tau
+    }
+}
+
+impl<M: MetricSpace + ?Sized> MetricSpace for &M {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        (**self).dist(i, j)
+    }
+    fn point_weight(&self) -> u64 {
+        (**self).point_weight()
+    }
+}
+
+/// `d(p, S) = min_{s in S} d(p, s)`; `f64::INFINITY` when `S` is empty.
+pub fn dist_point_to_set<M: MetricSpace + ?Sized>(metric: &M, p: PointId, set: &[PointId]) -> f64 {
+    set.iter()
+        .map(|&s| metric.dist(p, s))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// `r(X, Y) = max_{x in X} d(x, Y)` — the covering radius of `X` by `Y`
+/// (paper §6.1). Returns 0 for empty `X` and `f64::INFINITY` for empty `Y`
+/// with non-empty `X`.
+pub fn dist_set_to_set<M: MetricSpace + ?Sized>(metric: &M, xs: &[PointId], ys: &[PointId]) -> f64 {
+    xs.iter()
+        .map(|&x| dist_point_to_set(metric, x, ys))
+        .fold(0.0, f64::max)
+}
+
+/// `div(S)`: minimum pairwise distance in `S` (paper §2.1).
+/// Returns `f64::INFINITY` when `|S| < 2`.
+pub fn min_pairwise_distance<M: MetricSpace + ?Sized>(metric: &M, set: &[PointId]) -> f64 {
+    let mut best = f64::INFINITY;
+    for (a, &i) in set.iter().enumerate() {
+        for &j in &set[a + 1..] {
+            let d = metric.dist(i, j);
+            if d < best {
+                best = d;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean::EuclideanSpace;
+    use crate::point::PointSet;
+
+    fn line_space() -> EuclideanSpace {
+        // Points at x = 0, 1, 3, 7 on a line.
+        EuclideanSpace::new(PointSet::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![3.0],
+            vec![7.0],
+        ]))
+    }
+
+    #[test]
+    fn point_to_set_minimizes() {
+        let m = line_space();
+        let set = [PointId(0), PointId(2)];
+        assert_eq!(dist_point_to_set(&m, PointId(1), &set), 1.0);
+        assert_eq!(dist_point_to_set(&m, PointId(3), &set), 4.0);
+    }
+
+    #[test]
+    fn point_to_empty_set_is_infinite() {
+        let m = line_space();
+        assert_eq!(dist_point_to_set(&m, PointId(0), &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn set_to_set_is_covering_radius() {
+        let m = line_space();
+        // r({0,1,3,7}, {1}) = max distance to x=1 is 6 (point at 7).
+        let all = [PointId(0), PointId(1), PointId(2), PointId(3)];
+        assert_eq!(dist_set_to_set(&m, &all, &[PointId(1)]), 6.0);
+        assert_eq!(dist_set_to_set(&m, &[], &[PointId(1)]), 0.0);
+    }
+
+    #[test]
+    fn diversity_is_min_pairwise() {
+        let m = line_space();
+        let all = [PointId(0), PointId(1), PointId(2), PointId(3)];
+        assert_eq!(min_pairwise_distance(&m, &all), 1.0);
+        assert_eq!(min_pairwise_distance(&m, &[PointId(0), PointId(3)]), 7.0);
+        assert_eq!(min_pairwise_distance(&m, &[PointId(0)]), f64::INFINITY);
+    }
+
+    #[test]
+    fn within_matches_threshold_adjacency() {
+        let m = line_space();
+        assert!(m.within(PointId(0), PointId(1), 1.0)); // d = 1 <= 1
+        assert!(!m.within(PointId(0), PointId(2), 2.9)); // d = 3 > 2.9
+    }
+}

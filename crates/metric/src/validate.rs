@@ -1,0 +1,165 @@
+//! Sampling-based metric-axiom checker.
+//!
+//! The algorithms' guarantees hold only in genuine metric spaces; this
+//! module lets tests and examples assert that a custom oracle behaves like
+//! one without paying O(n³) on large inputs.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::point::PointId;
+use crate::space::MetricSpace;
+
+/// A detected violation of the metric axioms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricViolation {
+    /// `dist(i, i) != 0`.
+    Identity { i: PointId, got: f64 },
+    /// `dist(i, j) != dist(j, i)`.
+    Symmetry {
+        i: PointId,
+        j: PointId,
+        forward: f64,
+        backward: f64,
+    },
+    /// `dist(i, k) > dist(i, j) + dist(j, k)` beyond tolerance.
+    Triangle {
+        i: PointId,
+        j: PointId,
+        k: PointId,
+        direct: f64,
+        via: f64,
+    },
+    /// A distance is negative or non-finite.
+    Invalid { i: PointId, j: PointId, got: f64 },
+}
+
+impl std::fmt::Display for MetricViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Identity { i, got } => write!(f, "d({i},{i}) = {got}, expected 0"),
+            Self::Symmetry {
+                i,
+                j,
+                forward,
+                backward,
+            } => {
+                write!(f, "d({i},{j}) = {forward} but d({j},{i}) = {backward}")
+            }
+            Self::Triangle {
+                i,
+                j,
+                k,
+                direct,
+                via,
+            } => {
+                write!(f, "d({i},{k}) = {direct} > d({i},{j}) + d({j},{k}) = {via}")
+            }
+            Self::Invalid { i, j, got } => write!(f, "d({i},{j}) = {got} is not a distance"),
+        }
+    }
+}
+
+/// Checks the metric axioms on `samples` random triples (and the full
+/// diagonal when `n` is small). Returns the first violation found, if any.
+///
+/// `tolerance` absorbs floating-point slack in the triangle inequality;
+/// `1e-9` relative is appropriate for double-precision coordinate metrics.
+pub fn check_metric_axioms<M: MetricSpace + ?Sized>(
+    metric: &M,
+    samples: usize,
+    tolerance: f64,
+    seed: u64,
+) -> Option<MetricViolation> {
+    let n = metric.n();
+    if n == 0 {
+        return None;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Identity on the diagonal: exhaustive when affordable, sampled otherwise.
+    let diagonal: Vec<usize> = if n <= samples {
+        (0..n).collect()
+    } else {
+        (0..samples).map(|_| rng.random_range(0..n)).collect()
+    };
+    for i in diagonal {
+        let i = PointId::from(i);
+        let d = metric.dist(i, i);
+        if d != 0.0 {
+            return Some(MetricViolation::Identity { i, got: d });
+        }
+    }
+
+    for _ in 0..samples {
+        let i = PointId::from(rng.random_range(0..n));
+        let j = PointId::from(rng.random_range(0..n));
+        let k = PointId::from(rng.random_range(0..n));
+        let dij = metric.dist(i, j);
+        let dji = metric.dist(j, i);
+        let djk = metric.dist(j, k);
+        let dik = metric.dist(i, k);
+        for (&a, &b, &d) in [(&i, &j, &dij), (&j, &k, &djk), (&i, &k, &dik)] {
+            if !d.is_finite() || d < 0.0 {
+                return Some(MetricViolation::Invalid { i: a, j: b, got: d });
+            }
+        }
+        if (dij - dji).abs() > tolerance * (1.0 + dij.abs()) {
+            return Some(MetricViolation::Symmetry {
+                i,
+                j,
+                forward: dij,
+                backward: dji,
+            });
+        }
+        let via = dij + djk;
+        if dik > via + tolerance * (1.0 + via.abs()) {
+            return Some(MetricViolation::Triangle {
+                i,
+                j,
+                k,
+                direct: dik,
+                via,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::MatrixSpace;
+    use crate::{datasets, EuclideanSpace};
+
+    #[test]
+    fn euclidean_passes() {
+        let m = EuclideanSpace::new(datasets::uniform_cube(100, 4, 11));
+        assert_eq!(check_metric_axioms(&m, 500, 1e-9, 1), None);
+    }
+
+    #[test]
+    fn catches_triangle_violation() {
+        // A "metric" where one long edge breaks the triangle inequality.
+        let bad = MatrixSpace::new(3, vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0]).unwrap();
+        let v = check_metric_axioms(&bad, 1000, 1e-9, 1);
+        assert!(
+            matches!(v, Some(MetricViolation::Triangle { .. })),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn empty_space_is_fine() {
+        struct Empty;
+        impl MetricSpace for Empty {
+            fn n(&self) -> usize {
+                0
+            }
+            fn dist(&self, _: PointId, _: PointId) -> f64 {
+                unreachable!()
+            }
+        }
+        assert_eq!(check_metric_axioms(&Empty, 100, 1e-9, 1), None);
+    }
+}

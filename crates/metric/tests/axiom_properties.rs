@@ -1,0 +1,88 @@
+//! Property-based tests: every metric implementation satisfies the metric
+//! axioms on randomly generated instances.
+
+use mpc_metric::validate::check_metric_axioms;
+use mpc_metric::{
+    AngularSpace, ChebyshevSpace, EditDistanceSpace, EuclideanSpace, HammingSpace, JaccardSpace,
+    ManhattanSpace, MatrixSpace, MetricSpace, PointId, PointSet,
+};
+use proptest::prelude::*;
+
+fn arb_rows(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, dim..=dim), 2..max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coordinate_metrics_satisfy_axioms(rows in arb_rows(30, 3), seed in any::<u64>()) {
+        let ps = PointSet::from_rows(&rows);
+        let n = ps.len();
+        prop_assert_eq!(
+            check_metric_axioms(&EuclideanSpace::new(ps.clone()), 4 * n * n, 1e-9, seed),
+            None
+        );
+        prop_assert_eq!(
+            check_metric_axioms(&ManhattanSpace::new(ps.clone()), 4 * n * n, 1e-9, seed),
+            None
+        );
+        prop_assert_eq!(
+            check_metric_axioms(&ChebyshevSpace::new(ps), 4 * n * n, 1e-9, seed),
+            None
+        );
+    }
+
+    #[test]
+    fn angular_metric_satisfies_axioms(rows in arb_rows(25, 3), seed in any::<u64>()) {
+        // Shift coordinates to be strictly positive so no vector is zero.
+        let shifted: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.abs() + 0.5).collect())
+            .collect();
+        let m = AngularSpace::new(PointSet::from_rows(&shifted));
+        prop_assert_eq!(check_metric_axioms(&m, 3000, 1e-8, seed), None);
+    }
+
+    #[test]
+    fn bitset_metrics_satisfy_axioms(
+        masks in prop::collection::vec(prop::collection::vec(any::<bool>(), 48), 2..25),
+        seed in any::<u64>(),
+    ) {
+        let n = masks.len();
+        let bits: Vec<Vec<usize>> = masks
+            .iter()
+            .map(|row| row.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect())
+            .collect();
+        let h = HammingSpace::from_set_bits(n, 48, &bits);
+        prop_assert_eq!(check_metric_axioms(&h, 4000, 1e-9, seed), None);
+        let j = JaccardSpace::from_set_bits(n, 48, &bits);
+        prop_assert_eq!(check_metric_axioms(&j, 4000, 1e-9, seed), None);
+    }
+
+    #[test]
+    fn edit_distance_satisfies_axioms(
+        words in prop::collection::vec("[a-d]{0,8}", 2..15),
+        seed in any::<u64>(),
+    ) {
+        let m = EditDistanceSpace::new(&words);
+        prop_assert_eq!(check_metric_axioms(&m, 2500, 1e-9, seed), None);
+    }
+
+    /// Building a MatrixSpace from any of the concrete metrics round-trips
+    /// the distances exactly.
+    #[test]
+    fn matrix_space_round_trips(rows in arb_rows(15, 2)) {
+        let ps = PointSet::from_rows(&rows);
+        let n = ps.len();
+        let e = EuclideanSpace::new(ps);
+        let m = MatrixSpace::from_fn(n, |i, j| {
+            e.dist(PointId(i as u32), PointId(j as u32))
+        }).unwrap();
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                prop_assert_eq!(m.dist(PointId(i), PointId(j)), e.dist(PointId(i), PointId(j)));
+            }
+        }
+    }
+}

@@ -1,0 +1,503 @@
+//! The simulated MPC cluster and its collective operations.
+
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::ledger::{Ledger, MachineIo};
+use crate::rng::machine_rng;
+
+/// A simulated MPC cluster of `m` machines.
+///
+/// Algorithms keep their own per-machine state (typically a `Vec` with one
+/// entry per machine) and drive it through two kinds of operations:
+///
+/// * [`Cluster::map`] — machine-local computation, executed for all
+///   machines in parallel via rayon. Free in the MPC model (no round, no
+///   communication), as the model allows arbitrary polynomial local work.
+/// * collectives ([`Cluster::all_broadcast`], [`Cluster::gather`],
+///   [`Cluster::broadcast`], [`Cluster::scatter`], and the reduction
+///   helpers) — each consumes exactly **one MPC round** and charges every
+///   machine's sent/received word counts to the [`Ledger`].
+///
+/// Machine 0 plays the paper's *central machine*.
+///
+/// ```
+/// use mpc_sim::Cluster;
+///
+/// let mut cluster = Cluster::new(3, 42);
+/// // Local compute (free), then a one-round gather to the central machine.
+/// let squares = cluster.map(&[1, 2, 3], |_, &x| vec![x * x]);
+/// let all = cluster.gather("collect", squares, 1);
+/// assert_eq!(all, vec![1, 4, 9]);
+/// assert_eq!(cluster.rounds(), 1);
+/// ```
+///
+/// ### Communication-cost conventions
+///
+/// Items carry a caller-supplied `weight` in machine words (coordinates of
+/// a point, 1 for a scalar). Point-to-point traffic charges the sender and
+/// the receiver once per item; one-to-many traffic charges the sender once
+/// per (item, recipient) pair — i.e. no magic multicast, matching the MPC
+/// model where the total size of messages sent by a machine is bounded.
+#[derive(Debug)]
+pub struct Cluster {
+    m: usize,
+    seed: u64,
+    ledger: Ledger,
+}
+
+impl Cluster {
+    /// A cluster of `m >= 1` machines with the given RNG seed and no
+    /// communication budget.
+    pub fn new(m: usize, seed: u64) -> Self {
+        Self {
+            m,
+            seed,
+            ledger: Ledger::new(m),
+        }
+    }
+
+    /// Like [`Cluster::new`] but with a per-round per-machine word budget;
+    /// breaches are recorded on the ledger.
+    pub fn with_budget(m: usize, seed: u64, budget_words: u64) -> Self {
+        let mut c = Self::new(m, seed);
+        c.ledger.set_budget(budget_words);
+        c
+    }
+
+    /// Number of machines.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The cluster RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Read access to the accounting ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Consumes the cluster, returning its ledger.
+    pub fn into_ledger(self) -> Ledger {
+        self.ledger
+    }
+
+    /// Rounds consumed so far.
+    pub fn rounds(&self) -> u64 {
+        self.ledger.rounds()
+    }
+
+    /// Notes machine-resident memory (see [`Ledger::note_memory`]).
+    pub fn note_memory(&mut self, machine: usize, words: u64) {
+        self.ledger.note_memory(machine, words);
+    }
+
+    /// Notes one resident-memory figure per machine.
+    pub fn note_memory_all(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), self.m);
+        for (machine, &w) in words.iter().enumerate() {
+            self.ledger.note_memory(machine, w);
+        }
+    }
+
+    /// A deterministic RNG for `machine` at the current round; `salt`
+    /// distinguishes call sites within one round.
+    pub fn rng(&self, machine: usize, salt: u64) -> ChaCha8Rng {
+        machine_rng(self.seed, machine, self.ledger.rounds(), salt)
+    }
+
+    /// Machine-local computation: runs `f(machine, &input[machine])` for
+    /// every machine in parallel and collects the outputs. Costs no round
+    /// and no communication.
+    pub fn map<T, U, F>(&self, inputs: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        assert_eq!(inputs.len(), self.m, "one input per machine");
+        inputs
+            .par_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect()
+    }
+
+    /// Like [`Cluster::map`] with mutable access to the per-machine state.
+    pub fn map_mut<T, U, F>(&self, states: &mut [T], f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut T) -> U + Sync,
+    {
+        assert_eq!(states.len(), self.m, "one state per machine");
+        states
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect()
+    }
+
+    /// All-to-all broadcast: every machine contributes a set of items and
+    /// every machine ends up with the full union (in machine order).
+    /// One round. Machine `i` sends `|c_i| · w` words to each of the other
+    /// `m − 1` machines and receives everyone else's contributions.
+    pub fn all_broadcast<T: Clone + Send + Sync>(
+        &mut self,
+        label: &str,
+        contributions: Vec<Vec<T>>,
+        weight: u64,
+    ) -> Vec<T> {
+        assert_eq!(contributions.len(), self.m);
+        let sizes: Vec<u64> = contributions
+            .iter()
+            .map(|c| c.len() as u64 * weight)
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        let per_machine = sizes
+            .iter()
+            .map(|&s| MachineIo {
+                sent: s * (self.m as u64 - 1),
+                received: total - s,
+            })
+            .collect();
+        self.ledger.record_round(label, per_machine);
+        contributions.into_iter().flatten().collect()
+    }
+
+    /// Gather to the central machine (machine 0): returns the concatenation
+    /// of all contributions in machine order. One round.
+    pub fn gather<T: Send>(
+        &mut self,
+        label: &str,
+        contributions: Vec<Vec<T>>,
+        weight: u64,
+    ) -> Vec<T> {
+        assert_eq!(contributions.len(), self.m);
+        let sizes: Vec<u64> = contributions
+            .iter()
+            .map(|c| c.len() as u64 * weight)
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        let per_machine = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                if i == 0 {
+                    MachineIo {
+                        sent: 0,
+                        received: total - s,
+                    }
+                } else {
+                    MachineIo {
+                        sent: s,
+                        received: 0,
+                    }
+                }
+            })
+            .collect();
+        self.ledger.record_round(label, per_machine);
+        contributions.into_iter().flatten().collect()
+    }
+
+    /// Broadcast `count` items of the given weight from the central machine
+    /// to all others. One round. The caller keeps the data (it is already
+    /// globally visible in the simulation); this records the traffic.
+    pub fn broadcast(&mut self, label: &str, count: usize, weight: u64) {
+        let words = count as u64 * weight;
+        let per_machine = (0..self.m)
+            .map(|i| {
+                if i == 0 {
+                    MachineIo {
+                        sent: words * (self.m as u64 - 1),
+                        received: 0,
+                    }
+                } else {
+                    MachineIo {
+                        sent: 0,
+                        received: words,
+                    }
+                }
+            })
+            .collect();
+        self.ledger.record_round(label, per_machine);
+    }
+
+    /// Scatter from the central machine: machine `i` receives
+    /// `per_machine[i]`. One round. Returns the input unchanged (ownership
+    /// transfer to the recipients).
+    pub fn scatter<T: Send>(
+        &mut self,
+        label: &str,
+        per_machine: Vec<Vec<T>>,
+        weight: u64,
+    ) -> Vec<Vec<T>> {
+        assert_eq!(per_machine.len(), self.m);
+        let sizes: Vec<u64> = per_machine
+            .iter()
+            .map(|c| c.len() as u64 * weight)
+            .collect();
+        let outbound: u64 = sizes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 0)
+            .map(|(_, &s)| s)
+            .sum();
+        let io = (0..self.m)
+            .map(|i| {
+                if i == 0 {
+                    MachineIo {
+                        sent: outbound,
+                        received: 0,
+                    }
+                } else {
+                    MachineIo {
+                        sent: 0,
+                        received: sizes[i],
+                    }
+                }
+            })
+            .collect();
+        self.ledger.record_round(label, io);
+        per_machine
+    }
+
+    /// All-to-all personalized exchange: `msgs[src][dst]` is what machine
+    /// `src` sends to machine `dst`; the result `inbox` satisfies
+    /// `inbox[dst][src] == msgs[src][dst]`. One round. Self-addressed
+    /// messages move no words.
+    pub fn exchange<T: Send>(
+        &mut self,
+        label: &str,
+        msgs: Vec<Vec<Vec<T>>>,
+        weight: u64,
+    ) -> Vec<Vec<Vec<T>>> {
+        assert_eq!(msgs.len(), self.m);
+        for row in &msgs {
+            assert_eq!(row.len(), self.m, "one outbox per destination");
+        }
+        let mut io = vec![MachineIo::default(); self.m];
+        for (src, row) in msgs.iter().enumerate() {
+            for (dst, items) in row.iter().enumerate() {
+                if src != dst {
+                    let words = items.len() as u64 * weight;
+                    io[src].sent += words;
+                    io[dst].received += words;
+                }
+            }
+        }
+        self.ledger.record_round(label, io);
+        // Transpose ownership: inbox[dst][src] = msgs[src][dst].
+        let mut inbox: Vec<Vec<Vec<T>>> = (0..self.m).map(|_| Vec::with_capacity(self.m)).collect();
+        for row in msgs {
+            for (dst, items) in row.into_iter().enumerate() {
+                inbox[dst].push(items);
+            }
+        }
+        inbox
+    }
+
+    /// Reduction to the central machine: gathers one scalar per machine and
+    /// folds them. One round.
+    pub fn reduce<T, F>(&mut self, label: &str, values: Vec<T>, fold: F) -> T
+    where
+        T: Send,
+        F: FnMut(T, T) -> T,
+    {
+        assert_eq!(values.len(), self.m);
+        let gathered = self.gather(label, values.into_iter().map(|v| vec![v]).collect(), 1);
+        gathered
+            .into_iter()
+            .reduce(fold)
+            .expect("m >= 1 guarantees a value")
+    }
+
+    /// All-reduce: reduction to the central machine followed by a broadcast
+    /// of the scalar result. Two rounds; every machine knows the answer.
+    pub fn all_reduce<T, F>(&mut self, label: &str, values: Vec<T>, fold: F) -> T
+    where
+        T: Send + Clone,
+        F: FnMut(T, T) -> T,
+    {
+        let result = self.reduce(label, values, fold);
+        self.broadcast(&format!("{label}/bcast"), 1, 1);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_runs_every_machine() {
+        let c = Cluster::new(4, 0);
+        let out = c.map(&[10, 20, 30, 40], |i, &x| x + i);
+        assert_eq!(out, vec![10, 21, 32, 43]);
+        assert_eq!(c.rounds(), 0, "local compute is free");
+    }
+
+    #[test]
+    fn map_mut_mutates_in_place() {
+        let c = Cluster::new(2, 0);
+        let mut states = vec![vec![1], vec![2]];
+        c.map_mut(&mut states, |_, s| s.push(9));
+        assert_eq!(states, vec![vec![1, 9], vec![2, 9]]);
+    }
+
+    #[test]
+    fn all_broadcast_unions_and_charges() {
+        let mut c = Cluster::new(3, 0);
+        let union = c.all_broadcast("s", vec![vec![1], vec![2, 3], vec![]], 2);
+        assert_eq!(union, vec![1, 2, 3]);
+        assert_eq!(c.rounds(), 1);
+        let rec = &c.ledger().records()[0];
+        // machine 1 contributed 2 items of weight 2 => sends 4 words to each
+        // of 2 peers, receives the remaining 1 item (2 words).
+        assert_eq!(
+            rec.per_machine[1],
+            MachineIo {
+                sent: 8,
+                received: 2
+            }
+        );
+        assert_eq!(
+            rec.per_machine[2],
+            MachineIo {
+                sent: 0,
+                received: 6
+            }
+        );
+    }
+
+    #[test]
+    fn gather_concatenates_in_machine_order() {
+        let mut c = Cluster::new(3, 0);
+        let all = c.gather("g", vec![vec![5], vec![], vec![7, 8]], 1);
+        assert_eq!(all, vec![5, 7, 8]);
+        let rec = &c.ledger().records()[0];
+        assert_eq!(
+            rec.per_machine[0],
+            MachineIo {
+                sent: 0,
+                received: 2
+            }
+        );
+        assert_eq!(
+            rec.per_machine[2],
+            MachineIo {
+                sent: 2,
+                received: 0
+            }
+        );
+    }
+
+    #[test]
+    fn broadcast_charges_fanout() {
+        let mut c = Cluster::new(4, 0);
+        c.broadcast("b", 5, 3);
+        let rec = &c.ledger().records()[0];
+        assert_eq!(rec.per_machine[0].sent, 5 * 3 * 3);
+        assert_eq!(rec.per_machine[1].received, 15);
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn scatter_keeps_shape_and_charges_central() {
+        let mut c = Cluster::new(3, 0);
+        let out = c.scatter("sc", vec![vec![1, 2], vec![3], vec![4]], 1);
+        assert_eq!(out, vec![vec![1, 2], vec![3], vec![4]]);
+        let rec = &c.ledger().records()[0];
+        // central keeps its own share without network traffic
+        assert_eq!(
+            rec.per_machine[0],
+            MachineIo {
+                sent: 2,
+                received: 0
+            }
+        );
+        assert_eq!(
+            rec.per_machine[1],
+            MachineIo {
+                sent: 0,
+                received: 1
+            }
+        );
+    }
+
+    #[test]
+    fn exchange_transposes_and_charges() {
+        let mut c = Cluster::new(2, 0);
+        let inbox = c.exchange(
+            "x",
+            vec![vec![vec![1], vec![2, 3]], vec![vec![4], vec![]]],
+            2,
+        );
+        assert_eq!(
+            inbox,
+            vec![vec![vec![1], vec![4]], vec![vec![2, 3], vec![]]]
+        );
+        let rec = &c.ledger().records()[0];
+        // machine 0 sends 2 items to machine 1 (self-box free): 4 words.
+        assert_eq!(
+            rec.per_machine[0],
+            MachineIo {
+                sent: 4,
+                received: 2
+            }
+        );
+        assert_eq!(
+            rec.per_machine[1],
+            MachineIo {
+                sent: 2,
+                received: 4
+            }
+        );
+    }
+
+    #[test]
+    fn reduce_and_all_reduce() {
+        let mut c = Cluster::new(4, 0);
+        let max = c.reduce("r", vec![3, 9, 1, 7], i64::max);
+        assert_eq!(max, 9);
+        assert_eq!(c.rounds(), 1);
+        let sum = c.all_reduce("ar", vec![1, 2, 3, 4], |a, b| a + b);
+        assert_eq!(sum, 10);
+        assert_eq!(c.rounds(), 3);
+    }
+
+    #[test]
+    fn single_machine_cluster_works() {
+        let mut c = Cluster::new(1, 0);
+        let union = c.all_broadcast("s", vec![vec![1, 2]], 1);
+        assert_eq!(union, vec![1, 2]);
+        let rec = &c.ledger().records()[0];
+        assert_eq!(
+            rec.per_machine[0],
+            MachineIo {
+                sent: 0,
+                received: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rng_changes_with_round() {
+        use rand::RngExt;
+        let mut c = Cluster::new(2, 42);
+        let a: u64 = c.rng(0, 0).random();
+        c.broadcast("tick", 1, 1);
+        let b: u64 = c.rng(0, 0).random();
+        assert_ne!(a, b, "advancing the round must refresh streams");
+    }
+
+    #[test]
+    fn budget_violations_recorded() {
+        let mut c = Cluster::with_budget(2, 0, 4);
+        c.gather("big", vec![vec![], vec![0u32; 100]], 1);
+        assert_eq!(c.ledger().violations().len(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Outlier robustness: plain k-center versus k-center with a z-outlier
+//! budget on noisy data — the robustness story the paper's related-work
+//! section traces through Charikar et al. and Malkomes et al.
+//!
+//! ```text
+//! cargo run --release --example outlier_robustness
+//! ```
+
+use mpc_clustering::baselines::malkomes_outliers::malkomes_outliers_kcenter;
+use mpc_clustering::baselines::outliers::charikar_outliers_kcenter;
+use mpc_clustering::core::{kcenter, Params};
+use mpc_clustering::metric::{datasets, EuclideanSpace, PointId, PointSet};
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    // 500 sensor readings in 5 tight groups plus 10 corrupted readings
+    // scattered far away.
+    let n_good = 500;
+    let n_noise = 10;
+    let base = datasets::gaussian_clusters(n_good, 2, 5, 0.01, 42);
+    let mut rows: Vec<Vec<f64>> = (0..n_good)
+        .map(|i| base.coords(PointId(i as u32)).to_vec())
+        .collect();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+    for _ in 0..n_noise {
+        rows.push(vec![
+            rng.random_range(-50.0..50.0),
+            rng.random_range(-50.0..50.0),
+        ]);
+    }
+    let metric = EuclideanSpace::new(PointSet::from_rows(&rows));
+    let params = Params::practical(4, 0.1, 7);
+    let k = 5;
+
+    println!("k-center with k = {k} on {n_good} clean + {n_noise} corrupted readings:\n");
+
+    let plain = kcenter::mpc_kcenter(&metric, k, &params);
+    println!(
+        "  (2+ε) MPC, no outlier budget      : radius {:>8.4}  — wrecked by the noise",
+        plain.radius
+    );
+
+    let mpc_z = malkomes_outliers_kcenter(&metric, k, n_noise, &params);
+    println!(
+        "  Malkomes MPC, z = {n_noise} outliers      : radius {:>8.4}  ({} flagged, {} rounds)",
+        mpc_z.radius,
+        mpc_z.outliers.len(),
+        mpc_z.telemetry.rounds
+    );
+
+    let seq_z = charikar_outliers_kcenter(&metric, k, n_noise);
+    println!(
+        "  Charikar sequential, z = {n_noise}       : radius {:>8.4}  ({} flagged)",
+        seq_z.radius,
+        seq_z.outliers.len()
+    );
+
+    println!(
+        "\nWithout an outlier budget, {n_noise} junk points inflate the radius by ~{:.0}×;\n\
+         both robust variants recover the true cluster scale. The (2+ε) algorithm of\n\
+         this paper targets the clean problem — robust MPC variants at its factor are\n\
+         listed as open in the paper's related work.",
+        plain.radius / mpc_z.radius.max(1e-9)
+    );
+}

@@ -1,0 +1,38 @@
+//! Scaling study: how rounds and per-machine communication behave as the
+//! cluster grows — a runnable miniature of experiments E4/E5.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use mpc_clustering::core::{kcenter, Params};
+use mpc_clustering::metric::{datasets, EuclideanSpace};
+
+fn main() {
+    let n = 4_000;
+    let k = 10;
+    let metric = EuclideanSpace::new(datasets::uniform_cube(n, 2, 31));
+
+    println!("MPC k-center on n = {n}, k = {k}, sweeping the machine count m:\n");
+    println!(
+        "{:>4} {:>8} {:>22} {:>16} {:>12}",
+        "m", "rounds", "max words/machine", "total words", "radius"
+    );
+    for m in [2usize, 4, 8, 16, 32] {
+        let params = Params::practical(m, 0.1, 5);
+        let res = kcenter::mpc_kcenter(&metric, k, &params);
+        println!(
+            "{:>4} {:>8} {:>22} {:>16} {:>12.4}",
+            m,
+            res.telemetry.rounds,
+            res.telemetry.max_machine_words,
+            res.telemetry.total_words,
+            res.radius
+        );
+    }
+    println!(
+        "\nReading the table: rounds stay flat (constant-round algorithm), while the\n\
+         per-machine communication grows ~linearly in m·k, matching the paper's Õ(mk)\n\
+         bound. The radius is invariant to m up to sampling noise."
+    );
+}

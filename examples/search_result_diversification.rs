@@ -1,0 +1,56 @@
+//! Search-result diversification — k-diversity maximization in Hamming
+//! space, the information-retrieval use case the paper's introduction
+//! motivates.
+//!
+//! 5,000 candidate documents are represented as 256-bit topic fingerprints
+//! (simhash-style). A result page should show k documents that are as
+//! mutually dissimilar as possible: exactly remote-edge diversity
+//! maximization under the Hamming metric.
+//!
+//! ```text
+//! cargo run --release --example search_result_diversification
+//! ```
+
+use mpc_clustering::baselines::indyk::indyk_diversity;
+use mpc_clustering::core::{diversity, Params};
+use mpc_clustering::metric::{datasets, HammingSpace};
+
+fn main() {
+    let n = 5_000;
+    let bits = 256;
+    // Topic fingerprints: three latent topics with different densities,
+    // interleaved — a crude but effective topical structure.
+    let mut fingerprints = Vec::with_capacity(n);
+    for topic in 0..3 {
+        let density = 0.15 + 0.1 * topic as f64;
+        let block = datasets::random_bitsets(n / 3 + 1, bits, density, 17 + topic as u64);
+        fingerprints.extend(block);
+    }
+    fingerprints.truncate(n);
+    let metric = HammingSpace::from_set_bits(n, bits, &fingerprints);
+
+    let k = 10;
+    let params = Params::practical(8, 0.1, 23);
+
+    let ours = diversity::mpc_diversity(&metric, k, &params);
+    let coreset = indyk_diversity(&metric, k, &params);
+    let gmm = diversity::sequential_gmm_diversity(&metric, k);
+
+    println!("Diversifying a {k}-result page out of {n} documents ({bits}-bit fingerprints):\n");
+    println!(
+        "  paper (2+ε) MPC     : min pairwise Hamming distance {:>5.0}  ({} rounds, {} words max/machine)",
+        ours.diversity, ours.telemetry.rounds, ours.telemetry.max_machine_words
+    );
+    println!(
+        "  Indyk 6-approx MPC  : min pairwise Hamming distance {:>5.0}  ({} rounds)",
+        coreset.diversity, coreset.telemetry.rounds
+    );
+    println!(
+        "  sequential GMM (2×) : min pairwise Hamming distance {:>5.0}  (needs all data on one machine)",
+        gmm.diversity
+    );
+    println!(
+        "\nThe (2+ε) algorithm closes the quality gap to the sequential optimum-factor\n\
+         algorithm while staying fully distributed."
+    );
+}

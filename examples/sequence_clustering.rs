@@ -1,0 +1,92 @@
+//! Sequence clustering under edit distance — k-center over strings, the
+//! fully non-geometric "any metric space" demonstration.
+//!
+//! A synthetic amplicon-style dataset: `k_true` reference sequences, each
+//! observed many times with random substitutions/indels (sequencing
+//! noise). k-center under Levenshtein distance should recover one
+//! representative per reference, with the covering radius tracking the
+//! noise level.
+//!
+//! ```text
+//! cargo run --release --example sequence_clustering
+//! ```
+
+use mpc_clustering::core::{assignment, Params};
+use mpc_clustering::metric::EditDistanceSpace;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+fn random_seq(rng: &mut ChaCha8Rng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| BASES[rng.random_range(0..4)]).collect()
+}
+
+/// Mutate with per-base substitution probability `p_sub` and a couple of
+/// random indels.
+fn noisy_read(rng: &mut ChaCha8Rng, reference: &[u8], p_sub: f64, indels: usize) -> Vec<u8> {
+    let mut read: Vec<u8> = reference
+        .iter()
+        .map(|&b| {
+            if rng.random_range(0.0..1.0) < p_sub {
+                BASES[rng.random_range(0..4)]
+            } else {
+                b
+            }
+        })
+        .collect();
+    for _ in 0..indels {
+        let pos = rng.random_range(0..=read.len());
+        if rng.random_range(0.0..1.0) < 0.5 && !read.is_empty() {
+            read.remove(pos.min(read.len() - 1));
+        } else {
+            read.insert(pos, BASES[rng.random_range(0..4)]);
+        }
+    }
+    read
+}
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let k_true = 5;
+    let reads_per_ref = 60;
+    let seq_len = 40;
+
+    let references: Vec<Vec<u8>> = (0..k_true).map(|_| random_seq(&mut rng, seq_len)).collect();
+    let mut reads = Vec::new();
+    for r in &references {
+        for _ in 0..reads_per_ref {
+            reads.push(noisy_read(&mut rng, r, 0.03, 2));
+        }
+    }
+    let n = reads.len();
+    let metric = EditDistanceSpace::new(&reads);
+
+    let params = Params::practical(6, 0.1, 11);
+    let (result, assign) = assignment::kcenter_with_assignment(&metric, k_true, &params);
+
+    println!("Clustered {n} noisy reads (len ~{seq_len}, 5 references) under edit distance:\n");
+    println!(
+        "{:<9} {:>6} {:>8}   representative (first 40 bases)",
+        "cluster", "size", "radius"
+    );
+    for (ci, center) in result.centers.iter().enumerate() {
+        let seq = String::from_utf8_lossy(metric.string(*center));
+        println!(
+            "{ci:<9} {:>6} {:>8.1}   {}",
+            assign.sizes[ci],
+            assign.radii[ci],
+            &seq[..seq.len().min(40)]
+        );
+    }
+    println!(
+        "\ncovering radius {:.1} edits — the noise scale (≈ {:.1} substitutions + 2 indels\n\
+         per read), not the reference separation (~{} edits): the clustering recovered\n\
+         the amplicon structure. {} MPC rounds, {} words max/machine.",
+        result.radius,
+        0.03 * seq_len as f64,
+        (seq_len as f64 * 0.75).round(),
+        result.telemetry.rounds,
+        result.telemetry.max_machine_words,
+    );
+}

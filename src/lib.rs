@@ -1,0 +1,60 @@
+//! # mpc-clustering
+//!
+//! Almost optimal massively parallel algorithms for k-center clustering and
+//! diversity maximization — a full reproduction of Haqi & Zarrabi-Zadeh,
+//! SPAA 2023 (DOI 10.1145/3558481.3591077).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`metric`] — metric spaces, distance oracles, dataset generators;
+//! * [`sim`] — the instrumented MPC simulator (machines, rounds, ledger);
+//! * [`graph`] — threshold graphs and maximal-independent-set primitives;
+//! * [`core`] — the paper's algorithms: GMM, degree approximation,
+//!   k-bounded MIS, and the `(2+ε)` k-diversity / `(2+ε)` k-center /
+//!   `(3+ε)` k-supplier MPC algorithms;
+//! * [`baselines`] — sequential and MPC baselines from prior work plus
+//!   exact solvers for small instances.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpc_clustering::metric::{datasets, EuclideanSpace};
+//! use mpc_clustering::core::{kcenter, Params};
+//!
+//! // 1,000 points in 5 Gaussian clusters, distributed over 8 machines.
+//! let points = datasets::gaussian_clusters(1_000, 2, 5, 0.02, 42);
+//! let space = EuclideanSpace::new(points);
+//! let result = kcenter::mpc_kcenter(&space, 5, &Params::practical(8, 0.1, 7));
+//! assert_eq!(result.centers.len(), 5);
+//! println!(
+//!     "radius {:.4} in {} MPC rounds, {} words max per machine",
+//!     result.radius,
+//!     result.telemetry.rounds,
+//!     result.telemetry.max_machine_words
+//! );
+//! ```
+//!
+//! See `examples/` for domain scenarios and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the system inventory and the experiment index.
+
+pub mod cli;
+
+/// One-stop imports for typical use:
+/// `use mpc_clustering::prelude::*;`.
+pub mod prelude {
+    pub use crate::core::assignment::{assign_to_centers, kcenter_with_assignment};
+    pub use crate::core::diversity::{four_approx_diversity, mpc_diversity};
+    pub use crate::core::kcenter::mpc_kcenter;
+    pub use crate::core::ksupplier::mpc_ksupplier;
+    pub use crate::core::{BoundarySearch, Params, PartitionStrategy, Telemetry};
+    pub use crate::metric::{
+        datasets, EuclideanSpace, HammingSpace, MetricSpace, PointId, PointSet,
+    };
+    pub use crate::sim::{Cluster, CostModel, Partition};
+}
+
+pub use mpc_baselines as baselines;
+pub use mpc_core as core;
+pub use mpc_graph as graph;
+pub use mpc_metric as metric;
+pub use mpc_sim as sim;
