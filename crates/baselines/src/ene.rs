@@ -53,6 +53,7 @@ pub fn ene_kcenter<M: MetricSpace + ?Sized>(metric: &M, k: usize, params: &Param
         let total: u64 = cluster.all_reduce(
             "ene/count",
             survivors.iter().map(|s| s.len() as u64).collect(),
+            1,
             |a, b| a + b,
         );
         if (total as usize) <= gather_threshold {
@@ -88,7 +89,7 @@ pub fn ene_kcenter<M: MetricSpace + ?Sized>(metric: &M, k: usize, params: &Param
             d.select_nth_unstable_by(mid, f64::total_cmp);
             d[mid]
         });
-        let cut = cluster.reduce("ene/median", med, f64::max);
+        let cut = cluster.reduce("ene/median", med, 1, f64::max);
         cluster.broadcast("ene/cut", 1, 1);
         let next: Vec<Vec<u32>> = cluster.map(&survivors, |_, si| {
             si.iter()

@@ -6,9 +6,29 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpc_bench::workloads::Workload;
 use mpc_core::gmm::gmm;
 use mpc_graph::mis::{trim, TieBreak};
-use mpc_graph::ThresholdGraph;
-use mpc_metric::{datasets, EuclideanSpace, HammingSpace, MetricSpace, PointId};
+use mpc_graph::{GraphView, ThresholdGraph};
+use mpc_metric::{datasets, EuclideanSpace, HammingSpace, MatrixSpace, MetricSpace, PointId};
 use mpc_sim::Cluster;
+
+/// Re-exposes a space through `n`/`dist`/`point_weight` only, so every
+/// threshold query falls back to the `MetricSpace` trait defaults —
+/// per-pair `within` via `dist`, sqrt included. This is exactly the
+/// pre-kernel hot path (the `&M` blanket impl used to drop the `within`
+/// override too), and the baseline the `kernels/*` benchmarks compare
+/// against.
+struct ScalarOnly<M>(M);
+
+impl<M: MetricSpace> MetricSpace for ScalarOnly<M> {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        self.0.dist(i, j)
+    }
+    fn point_weight(&self) -> u64 {
+        self.0.point_weight()
+    }
+}
 
 fn bench_metrics(c: &mut Criterion) {
     let mut group = c.benchmark_group("metric-dist");
@@ -76,11 +96,66 @@ fn bench_collectives(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar-vs-batched threshold kernels (`BENCH_kernels.json`): the same
+/// `count_within` / `degree_among` queries answered by the per-pair loop
+/// default and by the specialized flat-storage kernels, across dimensions
+/// and candidate-set sizes.
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    for dim in [4usize, 32] {
+        for n in [1_000usize, 10_000, 100_000] {
+            let metric = EuclideanSpace::new(datasets::uniform_cube(n, dim, 7));
+            let scalar = ScalarOnly(metric.clone());
+            let tau = mpc_bench::distance_quantile(&metric, 0.2, 7);
+            let candidates: Vec<u32> = (0..n as u32).collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("euclidean-count-batched-d{dim}"), n),
+                &n,
+                |b, _| b.iter(|| metric.count_within(PointId(0), &candidates, tau)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("euclidean-count-scalar-d{dim}"), n),
+                &n,
+                |b, _| b.iter(|| scalar.count_within(PointId(0), &candidates, tau)),
+            );
+            // The graph-layer consumers the algorithms actually call.
+            let g_fast = ThresholdGraph::new(&metric, tau);
+            let g_slow = ThresholdGraph::new(&scalar, tau);
+            group.bench_with_input(
+                BenchmarkId::new(format!("degree-among-batched-d{dim}"), n),
+                &n,
+                |b, _| b.iter(|| g_fast.degree_among(0, &candidates)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("degree-among-scalar-d{dim}"), n),
+                &n,
+                |b, _| b.iter(|| g_slow.degree_among(0, &candidates)),
+            );
+        }
+    }
+    // Precomputed-matrix spaces: the kernel is a contiguous row scan.
+    let n = 2000;
+    let e = EuclideanSpace::new(datasets::uniform_cube(n, 3, 9));
+    let m = MatrixSpace::from_fn(n, |i, j| e.dist(PointId(i as u32), PointId(j as u32))).unwrap();
+    let tau = mpc_bench::distance_quantile(&m, 0.2, 9);
+    let scalar = ScalarOnly(m.clone());
+    let candidates: Vec<u32> = (0..n as u32).collect();
+    group.bench_function("matrix-count-batched-n2000", |b| {
+        b.iter(|| m.count_within(PointId(0), &candidates, tau))
+    });
+    group.bench_function("matrix-count-scalar-n2000", |b| {
+        b.iter(|| scalar.count_within(PointId(0), &candidates, tau))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_metrics,
     bench_gmm,
     bench_trim,
-    bench_collectives
+    bench_collectives,
+    bench_kernels
 );
 criterion_main!(benches);

@@ -59,6 +59,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
                         }
                     }
                     // All light vertices were exact iff mismatches <= heavy.
+                    // (`heavy` counts only genuinely classified-heavy
+                    // vertices; on the D3 exact-degree path it is 0 and
+                    // every estimate is exact, so the check still holds.)
                     if heavy_seen > heavy {
                         light_exact = false;
                     }

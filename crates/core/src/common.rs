@@ -46,7 +46,7 @@ pub fn covering_radius<M: MetricSpace + ?Sized>(
             .map(|&v| dist_point_to_set(metric, PointId(v), &q_ids))
             .fold(0.0f64, f64::max)
     });
-    cluster.reduce("radius/reduce", local_max, f64::max)
+    cluster.reduce("radius/reduce", local_max, 1, f64::max)
 }
 
 /// For each point of `q`, its nearest point among the distributed

@@ -31,7 +31,9 @@ pub enum DegreeOutcome {
     Estimates {
         /// The estimates.
         p: Vec<f64>,
-        /// Number of vertices classified heavy.
+        /// Number of vertices classified heavy. Both counts are 0 on the
+        /// exact-degree ablation path (D3), where no heavy/light
+        /// classification happens at all.
         heavy: usize,
         /// Number of vertices classified light.
         light: usize,
@@ -87,12 +89,14 @@ pub fn approximate_degrees<M: MetricSpace + ?Sized>(
     let sample: Vec<u32> = cluster.all_broadcast("deg/sample", samples, w);
 
     // Sampled-neighbor counts for every alive vertex (local compute; the
-    // O(|V_i|·|S|) scan is the hot kernel, so parallelize within machines
-    // too — rayon nests fine inside `cluster.map`'s machine parallelism).
+    // O(|V_i|·|S|) scan is the hot kernel, routed through the graph's bulk
+    // `degrees_among` so threshold graphs hit the metric's batched
+    // count_within kernel instead of per-pair oracle calls).
     let counts: Vec<Vec<u32>> = cluster.map(alive, |_, vi| {
-        use rayon::prelude::*;
-        vi.par_iter()
-            .map(|&v| graph.degree_among(v, &sample) as u32)
+        graph
+            .degrees_among(vi, &sample)
+            .into_iter()
+            .map(|d| d as u32)
             .collect()
     });
 
@@ -106,7 +110,7 @@ pub fn approximate_degrees<M: MetricSpace + ?Sized>(
         .iter()
         .map(|fs| fs.iter().filter(|&&f| f).count() as u64)
         .collect();
-    let total_light = cluster.all_reduce("deg/light-count", local_light.clone(), |a, b| a + b);
+    let total_light = cluster.all_reduce("deg/light-count", local_light.clone(), 1, |a, b| a + b);
 
     // Lines 5–6: too many light vertices — extract an independent set of
     // size k from a ρ-fraction of them at the central machine (Lemma 6).
@@ -162,13 +166,13 @@ pub fn approximate_degrees<M: MetricSpace + ?Sized>(
         .collect();
     let all_light: Vec<u32> = cluster.all_broadcast("deg/light-bcast", light_lists, w);
 
-    // d_i(v) for every light v against machine i's alive vertices
-    // (parallel within machines, as above).
+    // d_i(v) for every light v against machine i's alive vertices (batched
+    // per vertex through the metric kernel, as above).
     let partials: Vec<Vec<u32>> = cluster.map(alive, |_, vi| {
-        use rayon::prelude::*;
-        all_light
-            .par_iter()
-            .map(|&v| graph.degree_among(v, vi) as u32)
+        graph
+            .degrees_among(&all_light, vi)
+            .into_iter()
+            .map(|d| d as u32)
             .collect()
     });
     // Line 9: route each partial count to the machine *owning* the light
@@ -225,6 +229,11 @@ pub fn approximate_degrees<M: MetricSpace + ?Sized>(
 /// Ablation D3: exact degrees for every alive vertex, computed by
 /// broadcasting all alive vertices (communication `O(n)` per machine —
 /// exactly what Algorithm 3 exists to avoid).
+///
+/// No heavy/light classification happens on this path — every degree is
+/// exact — so the returned split is `heavy: 0, light: 0` rather than a
+/// fabricated one (an earlier version reported every vertex as heavy,
+/// poisoning the E6/E10 telemetry).
 fn exact_degrees<M: MetricSpace + ?Sized>(
     cluster: &mut Cluster,
     graph: &ThresholdGraph<&M>,
@@ -234,19 +243,22 @@ fn exact_degrees<M: MetricSpace + ?Sized>(
     let all_alive: Vec<u32> = cluster.all_broadcast("deg/exact-bcast", alive.to_vec(), weight);
     let per_machine: Vec<Vec<(u32, u32)>> = cluster.map(alive, |_, vi| {
         vi.iter()
-            .map(|&v| (v, graph.degree_among(v, &all_alive) as u32))
+            .zip(graph.degrees_among(vi, &all_alive))
+            .map(|(&v, d)| (v, d as u32))
             .collect()
     });
     let n_total = graph.n_vertices();
     let mut p = vec![0.0f64; n_total];
-    let mut heavy = 0usize;
     for row in per_machine {
         for (v, d) in row {
             p[v as usize] = d as f64;
-            heavy += 1;
         }
     }
-    DegreeOutcome::Estimates { p, heavy, light: 0 }
+    DegreeOutcome::Estimates {
+        p,
+        heavy: 0,
+        light: 0,
+    }
 }
 
 #[cfg(test)]

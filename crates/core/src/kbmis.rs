@@ -143,7 +143,7 @@ pub fn k_bounded_mis<M: MetricSpace + ?Sized>(
             };
         }
         let sizes: Vec<u64> = alive.iter().map(|a| a.len() as u64).collect();
-        let total_alive = cluster.all_reduce("mis/alive-count", sizes, |a, b| a + b);
+        let total_alive = cluster.all_reduce("mis/alive-count", sizes, 1, |a, b| a + b);
         if total_alive == 0 {
             return KBoundedMis {
                 set: mis,
@@ -198,7 +198,7 @@ pub fn k_bounded_mis<M: MetricSpace + ?Sized>(
             .iter()
             .map(|vi| vi.iter().map(|&v| sample_prob(p[v as usize])).sum())
             .collect();
-        let expected_mass = cluster.all_reduce("mis/sample-mass", mass, |a, b| a + b);
+        let expected_mass = cluster.all_reduce("mis/sample-mass", mass, 1, |a, b| a + b);
         let prune =
             params.enable_pruning && expected_mass > params.pruning_factor * (k_rem as f64) * ln_n;
 
@@ -270,7 +270,7 @@ pub fn k_bounded_mis<M: MetricSpace + ?Sized>(
                 .iter()
                 .map(|vi| vi.iter().copied().min().unwrap_or(u32::MAX))
                 .collect();
-            let global_min = cluster.reduce("mis/forced", minima, u32::min);
+            let global_min = cluster.reduce("mis/forced", minima, 1, u32::min);
             debug_assert_ne!(global_min, u32::MAX, "total_alive > 0 guarantees a vertex");
             delta.push(global_min);
             forced_progress += 1;
@@ -282,7 +282,7 @@ pub fn k_bounded_mis<M: MetricSpace + ?Sized>(
         let new_alive: Vec<Vec<u32>> = cluster.map(&alive, |_, vi| {
             vi.iter()
                 .copied()
-                .filter(|&v| !delta.contains(&v) && delta.iter().all(|&d| !graph.is_edge(v, d)))
+                .filter(|&v| !delta.contains(&v) && graph.degree_among(v, &delta) == 0)
                 .collect()
         });
         alive = new_alive;
@@ -330,7 +330,7 @@ fn pruning_step<M: MetricSpace + ?Sized>(
         trim(graph, &union, p, params.tie_break)
     });
     let sizes: Vec<u64> = t_j.iter().map(|t| t.len() as u64).collect();
-    let best = cluster.all_reduce("mis/prune-best", sizes.clone(), u64::max);
+    let best = cluster.all_reduce("mis/prune-best", sizes.clone(), 1, u64::max);
     if best as usize >= k_rem {
         let winner = sizes.iter().position(|&s| s == best).expect("max exists");
         let subset: Vec<u32> = t_j[winner][..k_rem].to_vec();
@@ -352,12 +352,7 @@ fn probe_alive_graph<M: MetricSpace + ?Sized>(
     let edges: u64 = all
         .par_iter()
         .enumerate()
-        .map(|(i, &u)| {
-            all[i + 1..]
-                .iter()
-                .filter(|&&v| graph.is_edge(u, v))
-                .count() as u64
-        })
+        .map(|(i, &u)| graph.degree_among(u, &all[i + 1..]) as u64)
         .sum();
     RoundTrace {
         alive: total_alive,

@@ -14,6 +14,7 @@ use mpc_sim::Cluster;
 
 use crate::common::{covering_radius, gmm_coreset, to_point_ids};
 use crate::kbmis::k_bounded_mis;
+use crate::memo::MemoizedSpace;
 use crate::params::{BoundarySearch, Params};
 use crate::telemetry::Telemetry;
 
@@ -110,20 +111,16 @@ pub fn mpc_kcenter_on<M: MetricSpace + ?Sized>(
     // |M_t| = k+1 is guaranteed: a maximal IS of size ≤ k in G_{τ_t} would
     // be a k-center solution of radius τ_t < r* — impossible — and our MIS
     // routine's sub-(k+1) outputs are genuinely maximal.
+    // Every rung queries the same (vertex, candidate-set) pairs with only
+    // τ changing, so one τ-independent distance memo serves the whole
+    // search. Local compute only — the ledger is unaffected (see
+    // [`crate::memo`]).
+    let memo = MemoizedSpace::new(metric);
     let mut cache: Vec<Option<Vec<u32>>> = vec![None; t + 1];
     cache[0] = Some(q.clone());
     let eval = |cluster: &mut Cluster, cache: &mut Vec<Option<Vec<u32>>>, i: usize| {
         if cache[i].is_none() {
-            let res = k_bounded_mis(
-                cluster,
-                metric,
-                &local_sets,
-                tau(i),
-                k + 1,
-                n,
-                params,
-                false,
-            );
+            let res = k_bounded_mis(cluster, &memo, &local_sets, tau(i), k + 1, n, params, false);
             cache[i] = Some(res.set);
         }
         cache[i].as_ref().expect("just filled").len()

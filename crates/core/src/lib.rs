@@ -30,6 +30,7 @@ pub mod gmm;
 pub mod kbmis;
 pub mod kcenter;
 pub mod ksupplier;
+pub mod memo;
 pub mod params;
 pub mod telemetry;
 pub mod verify;

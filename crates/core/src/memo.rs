@@ -1,0 +1,299 @@
+//! τ-independent distance memo for the k-center ladder (Algorithm 5).
+//!
+//! The binary search of [`crate::kcenter::mpc_kcenter`] re-runs
+//! [`crate::kbmis::k_bounded_mis`] at `O(log 1/ε)` rungs `τ_i` over the
+//! *same* point set with the *same* per-machine RNG streams, so successive
+//! rungs issue bulk threshold queries for identical `(vertex, candidate
+//! set)` pairs — only the threshold changes. [`MemoizedSpace`] caches the
+//! **distance vector** of each such pair once and answers every later
+//! `count_within` / `neighbors_within` for any `τ` by comparing the cached
+//! distances, turning `O(log 1/ε)` full distance passes into one.
+//!
+//! The memo is a *local compute* optimization and lives entirely outside
+//! MPC accounting: it forwards [`MetricSpace::point_weight`] untouched and
+//! never talks to the [`mpc_sim::Cluster`], so round and word counts are
+//! bit-for-bit those of the unmemoized run (asserted by the tests below).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mpc_metric::{MetricSpace, PointId};
+
+/// Default cap on cached distances (`f64`s): 2²² entries ≈ 32 MiB.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 22;
+
+/// FNV-1a over the candidate ids (length-prefixed). Two distinct candidate
+/// sets colliding on both length and this 64-bit digest would silently
+/// alias a cache entry; at the cache sizes involved (thousands of entries)
+/// the collision probability is ≪ 2⁻⁴⁰, which we accept for an
+/// accounting-invisible cache.
+fn fingerprint(candidates: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u32| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(candidates.len() as u32);
+    for &c in candidates {
+        eat(c);
+    }
+    h
+}
+
+#[derive(Default)]
+struct MemoState {
+    map: HashMap<(u32, u64), Arc<Vec<f64>>>,
+    /// Total `f64`s held across all cached vectors.
+    stored: usize,
+    flushes: u64,
+}
+
+/// A [`MetricSpace`] adapter that memoizes the distance vectors behind the
+/// bulk threshold kernels. See the module docs for when this pays off.
+///
+/// Scalar comparisons (`within`) and the bulk kernels both decide
+/// adjacency as `dist(i, j) <= τ` on the *same* `dist` values, so the
+/// wrapper is self-consistent across call shapes. Note the wrapped space's
+/// own `within` may use an algebraically equal but floating-point-different
+/// test (e.g. `EuclideanSpace` compares squared distances); the two can in
+/// principle disagree within 1 ulp of a threshold boundary, which the
+/// ladder's irrational rungs never hit in practice.
+pub struct MemoizedSpace<'a, M: MetricSpace + ?Sized> {
+    inner: &'a M,
+    state: Mutex<MemoState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl<'a, M: MetricSpace + ?Sized> MemoizedSpace<'a, M> {
+    /// Wraps `inner` with the default ≈32 MiB cache.
+    pub fn new(inner: &'a M) -> Self {
+        Self::with_capacity(inner, DEFAULT_MEMO_CAPACITY)
+    }
+
+    /// Wraps `inner`, capping the cache at `capacity` stored distances.
+    /// When an insert would exceed the cap, the whole cache is flushed
+    /// first (cheap epoch eviction — the ladder's access pattern has no
+    /// useful LRU structure, it either reuses everything or nothing).
+    pub fn with_capacity(inner: &'a M, capacity: usize) -> Self {
+        Self {
+            inner,
+            state: Mutex::new(MemoState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// The wrapped space.
+    pub fn inner(&self) -> &'a M {
+        self.inner
+    }
+
+    /// Bulk queries answered from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Bulk queries that had to compute their distance vector.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Times the cache was flushed to respect the capacity cap.
+    pub fn flushes(&self) -> u64 {
+        self.state.lock().unwrap().flushes
+    }
+
+    /// The distance vector from `v` to `candidates`, cached by
+    /// `(v, fingerprint(candidates))` — deliberately *not* keyed by any
+    /// threshold, so every ladder rung shares one entry.
+    fn distances(&self, v: PointId, candidates: &[u32]) -> Arc<Vec<f64>> {
+        let key = (v.0, fingerprint(candidates));
+        {
+            let state = self.state.lock().unwrap();
+            if let Some(d) = state.map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(d);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let d: Arc<Vec<f64>> = Arc::new(
+            candidates
+                .iter()
+                .map(|&c| self.inner.dist(v, PointId(c)))
+                .collect(),
+        );
+        let mut state = self.state.lock().unwrap();
+        if state.stored + d.len() > self.capacity {
+            state.map.clear();
+            state.stored = 0;
+            state.flushes += 1;
+        }
+        if d.len() <= self.capacity {
+            state.stored += d.len();
+            state.map.insert(key, Arc::clone(&d));
+        }
+        d
+    }
+}
+
+impl<M: MetricSpace + ?Sized> MetricSpace for MemoizedSpace<'_, M> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        self.inner.dist(i, j)
+    }
+
+    fn point_weight(&self) -> u64 {
+        self.inner.point_weight()
+    }
+
+    fn within(&self, i: PointId, j: PointId, tau: f64) -> bool {
+        // `dist`-based on purpose: matches how the cached vectors are
+        // compared below, keeping scalar and bulk answers identical.
+        self.inner.dist(i, j) <= tau
+    }
+
+    fn count_within(&self, v: PointId, candidates: &[u32], tau: f64) -> usize {
+        self.distances(v, candidates)
+            .iter()
+            .filter(|&&d| d <= tau)
+            .count()
+    }
+
+    fn neighbors_within(&self, v: PointId, candidates: &[u32], tau: f64, out: &mut Vec<u32>) {
+        let d = self.distances(v, candidates);
+        out.clear();
+        out.extend(
+            candidates
+                .iter()
+                .zip(d.iter())
+                .filter(|&(_, &d)| d <= tau)
+                .map(|(&c, _)| c),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kbmis::k_bounded_mis;
+    use crate::params::Params;
+    use mpc_metric::{datasets, EuclideanSpace};
+    use mpc_sim::{Cluster, Partition};
+
+    fn space(n: usize, seed: u64) -> EuclideanSpace {
+        EuclideanSpace::new(datasets::uniform_cube(n, 3, seed))
+    }
+
+    #[test]
+    fn bulk_answers_match_scalar_dist_filter() {
+        let m = space(60, 1);
+        let memo = MemoizedSpace::new(&m);
+        let candidates: Vec<u32> = (0..60).step_by(2).collect();
+        for v in [0u32, 7, 59] {
+            for tau in [0.0, 0.2, 0.5, 2.0] {
+                let want: Vec<u32> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| m.dist(PointId(v), PointId(c)) <= tau)
+                    .collect();
+                assert_eq!(memo.count_within(PointId(v), &candidates, tau), want.len());
+                let mut got = Vec::new();
+                memo.neighbors_within(PointId(v), &candidates, tau, &mut got);
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_across_thresholds_hits_the_cache() {
+        let m = space(50, 2);
+        let memo = MemoizedSpace::new(&m);
+        let candidates: Vec<u32> = (0..50).collect();
+        memo.count_within(PointId(3), &candidates, 0.4);
+        assert_eq!((memo.hits(), memo.misses()), (0, 1));
+        // Same pair, three other thresholds and the filter shape: all hits.
+        memo.count_within(PointId(3), &candidates, 0.2);
+        memo.count_within(PointId(3), &candidates, 0.1);
+        let mut out = Vec::new();
+        memo.neighbors_within(PointId(3), &candidates, 0.3, &mut out);
+        assert_eq!((memo.hits(), memo.misses()), (3, 1));
+        // Different vertex or candidate set: miss.
+        memo.count_within(PointId(4), &candidates, 0.2);
+        memo.count_within(PointId(3), &candidates[1..], 0.2);
+        assert_eq!((memo.hits(), memo.misses()), (3, 3));
+    }
+
+    #[test]
+    fn capacity_cap_flushes_but_stays_correct() {
+        let m = space(40, 3);
+        // Room for a single 40-distance vector: every new pair flushes.
+        let memo = MemoizedSpace::with_capacity(&m, 40);
+        let candidates: Vec<u32> = (0..40).collect();
+        for v in 0..10u32 {
+            let got = memo.count_within(PointId(v), &candidates, 0.6);
+            let want = candidates
+                .iter()
+                .filter(|&&c| m.dist(PointId(v), PointId(c)) <= 0.6)
+                .count();
+            assert_eq!(got, want);
+        }
+        assert!(memo.flushes() > 0);
+        // A vector larger than the whole cap is computed but never stored.
+        let big = MemoizedSpace::with_capacity(&m, 8);
+        big.count_within(PointId(0), &candidates, 0.6);
+        big.count_within(PointId(0), &candidates, 0.6);
+        assert_eq!(big.hits(), 0);
+    }
+
+    /// The acceptance criterion for the ladder memo: per-rung results and
+    /// the full MPC ledger are identical with and without the memo, and a
+    /// multi-τ sequence actually reuses cached work.
+    #[test]
+    fn memo_is_result_and_accounting_neutral_for_kbmis() {
+        let n = 180;
+        let metric = space(n, 7);
+        let params = Params::practical(4, 0.1, 7);
+        let alive = Partition::round_robin(n, 4).all_items().to_vec();
+        let memo = MemoizedSpace::new(&metric);
+        let mut hits_before = 0;
+        for (rung, tau) in [0.35, 0.25, 0.18, 0.12].into_iter().enumerate() {
+            let mut plain_cluster = Cluster::new(4, 7);
+            let plain = k_bounded_mis(
+                &mut plain_cluster,
+                &metric,
+                &alive,
+                tau,
+                6,
+                n,
+                &params,
+                false,
+            );
+            let mut memo_cluster = Cluster::new(4, 7);
+            let memod = k_bounded_mis(&mut memo_cluster, &memo, &alive, tau, 6, n, &params, false);
+            assert_eq!(plain.set, memod.set, "rung {rung} (tau {tau})");
+            assert_eq!(plain.outcome, memod.outcome);
+            let (a, b) = (plain_cluster.ledger(), memo_cluster.ledger());
+            assert_eq!(a.rounds(), b.rounds(), "rung {rung}: round counts");
+            for (ra, rb) in a.records().iter().zip(b.records().iter()) {
+                assert_eq!(ra.label, rb.label);
+                assert_eq!(ra.per_machine, rb.per_machine, "round {}", ra.round);
+            }
+            if rung > 0 {
+                assert!(
+                    memo.hits() > hits_before,
+                    "rung {rung} should reuse cached distance vectors"
+                );
+            }
+            hits_before = memo.hits();
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The batched distance kernels are a *local compute* substitution: wiring
+//! `ThresholdGraph` through `count_within` / `neighbors_within` instead of
+//! per-pair `within` calls must leave Algorithm 3 (degree approximation)
+//! and Algorithm 4 (k-bounded MIS) bit-for-bit unchanged — same outputs,
+//! same rounds, same per-machine word counts.
+//!
+//! `ScalarOnly` re-exposes a space through nothing but the scalar oracle,
+//! so every bulk query inside the algorithms falls back to the
+//! `MetricSpace` loop defaults — exactly the pre-kernel code path.
+
+use mpc_core::degree::{approximate_degrees, DegreeOutcome};
+use mpc_core::kbmis::k_bounded_mis;
+use mpc_core::Params;
+use mpc_metric::{datasets, EuclideanSpace, MetricSpace, PointId};
+use mpc_sim::{Cluster, Ledger, Partition};
+
+/// Forwards only `n`, `dist` and `point_weight`; `within` and the bulk
+/// kernels fall back to the trait defaults (per-pair `dist <= tau`, sqrt
+/// included) — exactly the pre-kernel code path.
+struct ScalarOnly<M>(M);
+
+impl<M: MetricSpace> MetricSpace for ScalarOnly<M> {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn dist(&self, i: PointId, j: PointId) -> f64 {
+        self.0.dist(i, j)
+    }
+    fn point_weight(&self) -> u64 {
+        self.0.point_weight()
+    }
+}
+
+fn assert_ledgers_identical(a: &Ledger, b: &Ledger, ctx: &str) {
+    assert_eq!(a.rounds(), b.rounds(), "{ctx}: round counts");
+    for (ra, rb) in a.records().iter().zip(b.records().iter()) {
+        assert_eq!(ra.label, rb.label, "{ctx}: round {} label", ra.round);
+        assert_eq!(
+            ra.per_machine, rb.per_machine,
+            "{ctx}: round {} ({}) traffic",
+            ra.round, ra.label
+        );
+    }
+    assert_eq!(
+        a.max_machine_memory(),
+        b.max_machine_memory(),
+        "{ctx}: peak memory"
+    );
+}
+
+#[test]
+fn degree_approximation_is_unchanged_by_kernel_swap() {
+    for (n, m, tau, k, seed) in [
+        (300, 4, 0.1, 8, 3u64),
+        (300, 4, 0.4, 8, 3),
+        (150, 8, 0.05, 5, 11),
+    ] {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(n, 2, seed));
+        let scalar = ScalarOnly(metric.clone());
+        let params = Params::practical(m, 0.1, seed);
+        let alive = Partition::round_robin(n, m).all_items().to_vec();
+
+        let mut ck = Cluster::new(m, seed);
+        let fast = approximate_degrees(&mut ck, &metric, &alive, tau, k, n, &params);
+        let mut cs = Cluster::new(m, seed);
+        let slow = approximate_degrees(&mut cs, &scalar, &alive, tau, k, n, &params);
+
+        let ctx = format!("degrees n={n} m={m} tau={tau}");
+        match (fast, slow) {
+            (
+                DegreeOutcome::Estimates {
+                    p: pf,
+                    heavy: hf,
+                    light: lf,
+                },
+                DegreeOutcome::Estimates {
+                    p: ps,
+                    heavy: hs,
+                    light: ls,
+                },
+            ) => {
+                assert_eq!(pf, ps, "{ctx}: estimates");
+                assert_eq!((hf, lf), (hs, ls), "{ctx}: classification counts");
+            }
+            (DegreeOutcome::IndependentSet(f), DegreeOutcome::IndependentSet(s)) => {
+                assert_eq!(f, s, "{ctx}: shortcut sets");
+            }
+            (f, s) => panic!("{ctx}: outcomes diverged: {f:?} vs {s:?}"),
+        }
+        assert_ledgers_identical(ck.ledger(), cs.ledger(), &ctx);
+    }
+}
+
+#[test]
+fn k_bounded_mis_is_unchanged_by_kernel_swap() {
+    for (n, m, tau, k, seed) in [
+        (200, 4, 0.12, 7, 55u64),
+        (100, 4, 0.05, 5, 2),
+        (250, 5, 0.1, 10, 3),
+        (60, 2, 0.9, 8, 5),
+    ] {
+        let metric = EuclideanSpace::new(datasets::uniform_cube(n, 2, seed));
+        let scalar = ScalarOnly(metric.clone());
+        let params = Params::practical(m, 0.1, seed);
+        let alive = Partition::round_robin(n, m).all_items().to_vec();
+
+        let mut ck = Cluster::new(m, seed);
+        let fast = k_bounded_mis(&mut ck, &metric, &alive, tau, k, n, &params, false);
+        let mut cs = Cluster::new(m, seed);
+        let slow = k_bounded_mis(&mut cs, &scalar, &alive, tau, k, n, &params, false);
+
+        let ctx = format!("kbmis n={n} m={m} tau={tau} k={k}");
+        assert_eq!(fast.set, slow.set, "{ctx}: MIS");
+        assert_eq!(fast.outcome, slow.outcome, "{ctx}: outcome");
+        assert_eq!(fast.outer_rounds, slow.outer_rounds, "{ctx}: outer rounds");
+        assert_ledgers_identical(ck.ledger(), cs.ledger(), &ctx);
+    }
+}

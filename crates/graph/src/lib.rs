@@ -52,6 +52,17 @@ pub trait GraphView: Sync {
             .filter(|&u| self.is_edge(v, u))
             .collect()
     }
+
+    /// Bulk counterpart of [`GraphView::degree_among`]: the degree of every
+    /// vertex in `vs` within `candidates`, in order. The hot scans of
+    /// Algorithms 3–4 (sampled-neighbor counts, exact-light partials) call
+    /// this so implicit graphs can route the whole batch through one metric
+    /// kernel per vertex instead of per-pair oracle calls.
+    fn degrees_among(&self, vs: &[u32], candidates: &[u32]) -> Vec<usize> {
+        vs.iter()
+            .map(|&v| self.degree_among(v, candidates))
+            .collect()
+    }
 }
 
 impl<G: GraphView + ?Sized> GraphView for &G {
@@ -60,5 +71,14 @@ impl<G: GraphView + ?Sized> GraphView for &G {
     }
     fn is_edge(&self, u: u32, v: u32) -> bool {
         (**self).is_edge(u, v)
+    }
+    fn degree_among(&self, v: u32, candidates: &[u32]) -> usize {
+        (**self).degree_among(v, candidates)
+    }
+    fn neighbors_among(&self, v: u32, candidates: &[u32]) -> Vec<u32> {
+        (**self).neighbors_among(v, candidates)
+    }
+    fn degrees_among(&self, vs: &[u32], candidates: &[u32]) -> Vec<usize> {
+        (**self).degrees_among(vs, candidates)
     }
 }

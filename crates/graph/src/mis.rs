@@ -12,7 +12,8 @@ use crate::{AdjacencyGraph, GraphView};
 pub fn greedy_mis<G: GraphView>(view: &G, vertices: &[u32]) -> Vec<u32> {
     let mut set: Vec<u32> = Vec::new();
     for &v in vertices {
-        if set.iter().all(|&s| !view.is_edge(v, s)) {
+        // Batched adjacency test: one kernel call against the whole set.
+        if view.degree_among(v, &set) == 0 {
             set.push(v);
         }
     }
@@ -45,7 +46,8 @@ pub fn greedy_k_bounded_mis<G: GraphView>(
     assert!(k > 0, "k must be positive");
     let mut set: Vec<u32> = Vec::with_capacity(k.min(vertices.len()));
     for &v in vertices {
-        if set.iter().all(|&s| !view.is_edge(v, s)) {
+        // Batched adjacency test, as in [`greedy_mis`].
+        if view.degree_among(v, &set) == 0 {
             set.push(v);
             if set.len() == k {
                 return (set, false);
@@ -123,10 +125,9 @@ pub fn trim<G: GraphView>(view: &G, sample: &[u32], weights: &[f64], tie: TieBre
         .iter()
         .copied()
         .filter(|&v| {
-            sample.iter().all(|&u| {
-                if u == v || !view.is_edge(v, u) {
-                    return true;
-                }
+            // Batched: materialize N(v) ∩ S with one kernel call, then
+            // compare weights only against actual neighbors.
+            view.neighbors_among(v, sample).into_iter().all(|u| {
                 let (pv, pu) = (weights[v as usize], weights[u as usize]);
                 match tie {
                     TieBreak::Strict => pv > pu,

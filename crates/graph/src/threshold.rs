@@ -60,6 +60,33 @@ impl<M: MetricSpace> GraphView for ThresholdGraph<M> {
     fn is_edge(&self, u: u32, v: u32) -> bool {
         u != v && self.metric.within(PointId(u), PointId(v), self.tau)
     }
+
+    /// Forwards the whole batch to the metric's [`MetricSpace::count_within`]
+    /// kernel, then subtracts the self-pairs the kernel counted: τ ≥ 0 means
+    /// every occurrence of `v` itself in `candidates` is within threshold,
+    /// but the graph is irreflexive.
+    fn degree_among(&self, v: u32, candidates: &[u32]) -> usize {
+        let within = self.metric.count_within(PointId(v), candidates, self.tau);
+        let selfs = candidates.iter().filter(|&&c| c == v).count();
+        within - selfs
+    }
+
+    /// Batched via [`MetricSpace::neighbors_within`], dropping self-pairs.
+    fn neighbors_among(&self, v: u32, candidates: &[u32]) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.metric
+            .neighbors_within(PointId(v), candidates, self.tau, &mut out);
+        out.retain(|&c| c != v);
+        out
+    }
+
+    /// One metric kernel invocation per vertex; candidate ids are scanned
+    /// with the flat-storage kernels of coordinate-backed spaces.
+    fn degrees_among(&self, vs: &[u32], candidates: &[u32]) -> Vec<usize> {
+        vs.iter()
+            .map(|&v| self.degree_among(v, candidates))
+            .collect()
+    }
 }
 
 #[cfg(test)]

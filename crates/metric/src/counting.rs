@@ -61,6 +61,21 @@ impl<M: MetricSpace> MetricSpace for CountingSpace<M> {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.inner.within(i, j, tau)
     }
+
+    /// Forwards to the inner batched kernel, charging one oracle call per
+    /// candidate so counts stay comparable across scalar and batched paths.
+    fn count_within(&self, v: PointId, candidates: &[u32], tau: f64) -> usize {
+        self.calls
+            .fetch_add(candidates.len() as u64, Ordering::Relaxed);
+        self.inner.count_within(v, candidates, tau)
+    }
+
+    /// See [`CountingSpace::count_within`] on this impl.
+    fn neighbors_within(&self, v: PointId, candidates: &[u32], tau: f64, out: &mut Vec<u32>) {
+        self.calls
+            .fetch_add(candidates.len() as u64, Ordering::Relaxed);
+        self.inner.neighbors_within(v, candidates, tau, out)
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,56 @@ impl MetricSpace for EuclideanSpace {
         // Avoids the sqrt on the hot threshold-graph adjacency path.
         tau >= 0.0 && self.dist_sq(i, j) <= tau * tau
     }
+
+    /// Batched kernel over the flat coordinate buffer: one slice borrow for
+    /// the query row, direct row offsets for candidates (no `PointId`
+    /// indirection or per-pair slice setup), squared-threshold comparison
+    /// with no sqrt — the bulk extension of the [`EuclideanSpace::dist_sq`]
+    /// trick above. The `zip` keeps the inner loop bounds-check-free so it
+    /// vectorizes.
+    fn count_within(&self, v: PointId, candidates: &[u32], tau: f64) -> usize {
+        if tau < 0.0 {
+            return 0;
+        }
+        let t2 = tau * tau;
+        let dim = self.points.dim();
+        let data = self.points.raw();
+        let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
+        candidates
+            .iter()
+            .filter(|&&c| {
+                let b = &data[c as usize * dim..c as usize * dim + dim];
+                let mut acc = 0.0;
+                for (x, y) in a.iter().zip(b) {
+                    let t = x - y;
+                    acc += t * t;
+                }
+                acc <= t2
+            })
+            .count()
+    }
+
+    /// Batched filter twin of [`MetricSpace::count_within`]; same kernel,
+    /// collecting ids instead of counting.
+    fn neighbors_within(&self, v: PointId, candidates: &[u32], tau: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if tau < 0.0 {
+            return;
+        }
+        let t2 = tau * tau;
+        let dim = self.points.dim();
+        let data = self.points.raw();
+        let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
+        out.extend(candidates.iter().copied().filter(|&c| {
+            let b = &data[c as usize * dim..c as usize * dim + dim];
+            let mut acc = 0.0;
+            for (x, y) in a.iter().zip(b) {
+                let t = x - y;
+                acc += t * t;
+            }
+            acc <= t2
+        }));
+    }
 }
 
 #[cfg(test)]

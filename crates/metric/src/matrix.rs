@@ -121,6 +121,29 @@ impl MetricSpace for MatrixSpace {
     fn dist(&self, i: PointId, j: PointId) -> f64 {
         self.d[i.idx() * self.n + j.idx()]
     }
+
+    /// Batched kernel: borrow `v`'s matrix row once and scan it
+    /// contiguously, instead of recomputing the row offset per pair.
+    fn count_within(&self, v: PointId, candidates: &[u32], tau: f64) -> usize {
+        let row = &self.d[v.idx() * self.n..(v.idx() + 1) * self.n];
+        candidates
+            .iter()
+            .filter(|&&c| row[c as usize] <= tau)
+            .count()
+    }
+
+    /// Batched filter twin of [`MetricSpace::count_within`] over the same
+    /// contiguous row slice.
+    fn neighbors_within(&self, v: PointId, candidates: &[u32], tau: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let row = &self.d[v.idx() * self.n..(v.idx() + 1) * self.n];
+        out.extend(
+            candidates
+                .iter()
+                .copied()
+                .filter(|&c| row[c as usize] <= tau),
+        );
+    }
 }
 
 #[cfg(test)]

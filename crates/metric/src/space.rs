@@ -36,6 +36,35 @@ pub trait MetricSpace: Sync {
     fn within(&self, i: PointId, j: PointId, tau: f64) -> bool {
         self.dist(i, j) <= tau
     }
+
+    /// Batched threshold count: how many of `candidates` are within `tau`
+    /// of `v`. Pure oracle semantics — a candidate equal to `v` counts
+    /// whenever `within(v, v, tau)` does (graph layers subtract self-loops
+    /// themselves).
+    ///
+    /// The default is the scalar loop; coordinate-backed spaces override it
+    /// with kernels that stream the flat storage directly (see
+    /// `EuclideanSpace` and `MatrixSpace`), which is where the hot
+    /// adjacency scans of Algorithms 3–5 spend their time.
+    fn count_within(&self, v: PointId, candidates: &[u32], tau: f64) -> usize {
+        candidates
+            .iter()
+            .filter(|&&c| self.within(v, PointId(c), tau))
+            .count()
+    }
+
+    /// Batched threshold filter: appends to `out` (after clearing it) every
+    /// candidate within `tau` of `v`, preserving candidate order. Same
+    /// self-pair semantics as [`MetricSpace::count_within`].
+    fn neighbors_within(&self, v: PointId, candidates: &[u32], tau: f64, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(
+            candidates
+                .iter()
+                .copied()
+                .filter(|&c| self.within(v, PointId(c), tau)),
+        );
+    }
 }
 
 impl<M: MetricSpace + ?Sized> MetricSpace for &M {
@@ -47,6 +76,15 @@ impl<M: MetricSpace + ?Sized> MetricSpace for &M {
     }
     fn point_weight(&self) -> u64 {
         (**self).point_weight()
+    }
+    fn within(&self, i: PointId, j: PointId, tau: f64) -> bool {
+        (**self).within(i, j, tau)
+    }
+    fn count_within(&self, v: PointId, candidates: &[u32], tau: f64) -> usize {
+        (**self).count_within(v, candidates, tau)
+    }
+    fn neighbors_within(&self, v: PointId, candidates: &[u32], tau: f64, out: &mut Vec<u32>) {
+        (**self).neighbors_within(v, candidates, tau, out)
     }
 }
 

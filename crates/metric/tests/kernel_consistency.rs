@@ -1,0 +1,192 @@
+//! Property-based tests: for **every** [`MetricSpace`] implementation the
+//! batched threshold kernels (`count_within` / `neighbors_within`) agree
+//! exactly with the scalar oracle (`within`), and the scalar oracle agrees
+//! with `dist(i, j) <= tau` away from floating-point threshold boundaries.
+//!
+//! This pins the contract the graph layer relies on: `ThresholdGraph`
+//! answers `degree_among` through `count_within`, so a kernel that drifted
+//! from the scalar path would silently change every algorithm built on it.
+
+use mpc_metric::{
+    AngularSpace, ChebyshevSpace, EditDistanceSpace, EuclideanSpace, GraphMetricSpace,
+    HammingSpace, JaccardSpace, ManhattanSpace, MatrixSpace, MetricSpace, PointId, PointSet,
+};
+use proptest::prelude::*;
+
+/// Thresholds worth probing: below zero, zero, and for a sample of actual
+/// distances both the exact value and `±1e-9`-relative nudges. The exact
+/// values exercise tie handling inside each space's own comparison; the
+/// nudged values sit far enough (≫ 1 ulp) from every boundary that the
+/// `within ⇔ dist <= tau` cross-check is well-posed even for spaces whose
+/// `within` uses an algebraically equal but differently-rounded test
+/// (`EuclideanSpace` compares squared distances).
+fn probe_taus<M: MetricSpace + ?Sized>(m: &M) -> Vec<f64> {
+    let n = m.n() as u32;
+    let mut ds: Vec<f64> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            ds.push(m.dist(PointId(i), PointId(j)));
+        }
+    }
+    ds.sort_by(f64::total_cmp);
+    let mut taus = vec![-1.0, 0.0];
+    let picks = [0, ds.len() / 4, ds.len() / 2, (3 * ds.len()) / 4];
+    for &p in &picks {
+        if let Some(&d) = ds.get(p) {
+            taus.push(d);
+            taus.push(d * (1.0 - 1e-9) - 1e-12);
+            taus.push(d * (1.0 + 1e-9) + 1e-12);
+        }
+    }
+    if let Some(&d) = ds.last() {
+        taus.push(d + 1.0);
+    }
+    taus
+}
+
+/// The invariants every implementation must satisfy, for every probed
+/// vertex / candidate-set / threshold combination:
+///
+/// 1. `count_within == |{c : within(v, c, tau)}|` — bulk count vs scalar;
+/// 2. `neighbors_within` filters by the same predicate, preserving order;
+/// 3. the `&M` blanket impl forwards the kernels (not the loop defaults);
+/// 4. away from threshold boundaries, `within(i, j, tau) ⇔ dist(i, j) <= tau`.
+fn check_kernels<M: MetricSpace>(m: &M) -> Result<(), TestCaseError> {
+    let n = m.n() as u32;
+    let all: Vec<u32> = (0..n).collect();
+    let evens: Vec<u32> = (0..n).step_by(2).collect();
+    let with_dup: Vec<u32> = {
+        let mut v = vec![0u32, 0];
+        v.extend((0..n).rev());
+        v
+    };
+    let empty: Vec<u32> = Vec::new();
+    let probes: Vec<u32> = vec![0, n / 2, n - 1];
+    for tau in probe_taus(m) {
+        let exact_boundary = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .any(|(i, j)| m.dist(PointId(i), PointId(j)) == tau);
+        for &v in &probes {
+            let v = PointId(v);
+            for cands in [&all, &evens, &with_dup, &empty] {
+                let scalar: Vec<u32> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| m.within(v, PointId(c), tau))
+                    .collect();
+                prop_assert_eq!(
+                    m.count_within(v, cands, tau),
+                    scalar.len(),
+                    "count_within vs scalar within: v={:?} tau={} |cands|={}",
+                    v,
+                    tau,
+                    cands.len()
+                );
+                let mut bulk = Vec::new();
+                m.neighbors_within(v, cands, tau, &mut bulk);
+                prop_assert_eq!(
+                    &bulk,
+                    &scalar,
+                    "neighbors_within vs scalar filter: v={:?} tau={}",
+                    v,
+                    tau
+                );
+                let fwd = &m;
+                prop_assert_eq!(fwd.count_within(v, cands, tau), scalar.len());
+                if !exact_boundary {
+                    for &c in cands {
+                        prop_assert_eq!(
+                            m.within(v, PointId(c), tau),
+                            m.dist(v, PointId(c)) <= tau,
+                            "within vs dist<=tau: v={:?} c={} tau={}",
+                            v,
+                            c,
+                            tau
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn arb_rows(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, dim..=dim), 3..max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn euclidean_kernels_match_scalar(rows in arb_rows(24, 3)) {
+        check_kernels(&EuclideanSpace::new(PointSet::from_rows(&rows)))?;
+    }
+
+    #[test]
+    fn minkowski_kernels_match_scalar(rows in arb_rows(20, 3)) {
+        let ps = PointSet::from_rows(&rows);
+        check_kernels(&ManhattanSpace::new(ps.clone()))?;
+        check_kernels(&ChebyshevSpace::new(ps))?;
+    }
+
+    #[test]
+    fn angular_kernels_match_scalar(rows in arb_rows(18, 3)) {
+        let shifted: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.abs() + 0.5).collect())
+            .collect();
+        check_kernels(&AngularSpace::new(PointSet::from_rows(&shifted)))?;
+    }
+
+    #[test]
+    fn bitset_kernels_match_scalar(
+        masks in prop::collection::vec(prop::collection::vec(any::<bool>(), 32), 3..18),
+    ) {
+        let n = masks.len();
+        let bits: Vec<Vec<usize>> = masks
+            .iter()
+            .map(|row| row.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect())
+            .collect();
+        check_kernels(&HammingSpace::from_set_bits(n, 32, &bits))?;
+        check_kernels(&JaccardSpace::from_set_bits(n, 32, &bits))?;
+    }
+
+    #[test]
+    fn edit_distance_kernels_match_scalar(words in prop::collection::vec("[a-d]{0,6}", 3..12)) {
+        check_kernels(&EditDistanceSpace::new(&words))?;
+    }
+
+    #[test]
+    fn matrix_kernels_match_scalar(rows in arb_rows(16, 2)) {
+        let ps = PointSet::from_rows(&rows);
+        let n = ps.len();
+        let e = EuclideanSpace::new(ps);
+        let m = MatrixSpace::from_fn(n, |i, j| {
+            e.dist(PointId(i as u32), PointId(j as u32))
+        }).unwrap();
+        check_kernels(&m)?;
+    }
+
+    #[test]
+    fn graph_metric_kernels_match_scalar(
+        weights in prop::collection::vec(0.1f64..10.0, 3..14),
+        extra in prop::collection::vec((0u32..14, 0u32..14, 0.1f64..20.0), 0..6),
+    ) {
+        // A path graph keeps everything connected; extra edges add shortcuts.
+        let n = weights.len() + 1;
+        let mut edges: Vec<(usize, usize, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i, i + 1, w))
+            .collect();
+        for &(a, b, w) in &extra {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if a != b {
+                edges.push((a, b, w));
+            }
+        }
+        let m = GraphMetricSpace::from_edges(n, &edges).unwrap();
+        check_kernels(&m)?;
+    }
+}

@@ -300,15 +300,17 @@ impl Cluster {
         inbox
     }
 
-    /// Reduction to the central machine: gathers one scalar per machine and
-    /// folds them. One round.
-    pub fn reduce<T, F>(&mut self, label: &str, values: Vec<T>, fold: F) -> T
+    /// Reduction to the central machine: gathers one value per machine and
+    /// folds them. One round. `weight` is the word width of one value —
+    /// scalars weigh 1; wider values (points, tuples) must charge what they
+    /// would actually ship.
+    pub fn reduce<T, F>(&mut self, label: &str, values: Vec<T>, weight: u64, fold: F) -> T
     where
         T: Send,
         F: FnMut(T, T) -> T,
     {
         assert_eq!(values.len(), self.m);
-        let gathered = self.gather(label, values.into_iter().map(|v| vec![v]).collect(), 1);
+        let gathered = self.gather(label, values.into_iter().map(|v| vec![v]).collect(), weight);
         gathered
             .into_iter()
             .reduce(fold)
@@ -316,14 +318,17 @@ impl Cluster {
     }
 
     /// All-reduce: reduction to the central machine followed by a broadcast
-    /// of the scalar result. Two rounds; every machine knows the answer.
-    pub fn all_reduce<T, F>(&mut self, label: &str, values: Vec<T>, fold: F) -> T
+    /// of the result. Two rounds; every machine knows the answer. The
+    /// result broadcast is charged at the same `weight` as the gathered
+    /// values (an earlier version hardcoded a 1-word broadcast, which
+    /// undercharged every non-scalar reduction).
+    pub fn all_reduce<T, F>(&mut self, label: &str, values: Vec<T>, weight: u64, fold: F) -> T
     where
         T: Send + Clone,
         F: FnMut(T, T) -> T,
     {
-        let result = self.reduce(label, values, fold);
-        self.broadcast(&format!("{label}/bcast"), 1, 1);
+        let result = self.reduce(label, values, weight, fold);
+        self.broadcast(&format!("{label}/bcast"), 1, weight);
         result
     }
 }
@@ -461,12 +466,71 @@ mod tests {
     #[test]
     fn reduce_and_all_reduce() {
         let mut c = Cluster::new(4, 0);
-        let max = c.reduce("r", vec![3, 9, 1, 7], i64::max);
+        let max = c.reduce("r", vec![3, 9, 1, 7], 1, i64::max);
         assert_eq!(max, 9);
         assert_eq!(c.rounds(), 1);
-        let sum = c.all_reduce("ar", vec![1, 2, 3, 4], |a, b| a + b);
+        let sum = c.all_reduce("ar", vec![1, 2, 3, 4], 1, |a, b| a + b);
         assert_eq!(sum, 10);
         assert_eq!(c.rounds(), 3);
+    }
+
+    #[test]
+    fn all_reduce_charges_result_broadcast_at_value_weight() {
+        // Non-scalar reduction: each contribution is a 3-word vector, so
+        // the gather charges 3 words per non-central machine AND the
+        // result broadcast ships 3 words to each non-central machine.
+        let mut c = Cluster::new(4, 0);
+        let w = 3;
+        let merged = c.all_reduce(
+            "ar3",
+            vec![
+                vec![1u64, 0, 0],
+                vec![0, 2, 0],
+                vec![0, 0, 3],
+                vec![1, 1, 1],
+            ],
+            w,
+            |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect(),
+        );
+        assert_eq!(merged, vec![2, 3, 4]);
+        let recs = c.ledger().records();
+        assert_eq!(recs.len(), 2);
+        // Gather leg: machines 1..3 each send w words, machine 0 receives.
+        assert_eq!(recs[0].label, "ar3");
+        assert_eq!(
+            recs[0].per_machine[0],
+            MachineIo {
+                sent: 0,
+                received: 3 * w
+            }
+        );
+        for io in &recs[0].per_machine[1..] {
+            assert_eq!(
+                *io,
+                MachineIo {
+                    sent: w,
+                    received: 0
+                }
+            );
+        }
+        // Result leg: machine 0 ships the w-word result to 3 machines.
+        assert_eq!(recs[1].label, "ar3/bcast");
+        assert_eq!(
+            recs[1].per_machine[0],
+            MachineIo {
+                sent: 3 * w,
+                received: 0
+            }
+        );
+        for io in &recs[1].per_machine[1..] {
+            assert_eq!(
+                *io,
+                MachineIo {
+                    sent: 0,
+                    received: w
+                }
+            );
+        }
     }
 
     #[test]

@@ -104,7 +104,7 @@ proptest! {
         let m = values.len();
         let mut c = Cluster::new(m, 0);
         let expect = values.iter().copied().fold(i64::MIN, i64::max);
-        let got = c.reduce("t", values, i64::max);
+        let got = c.reduce("t", values, 1, i64::max);
         prop_assert_eq!(got, expect);
     }
 }

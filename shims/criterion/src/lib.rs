@@ -1,0 +1,318 @@
+//! Offline vendored shim for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a deliberately small measurement loop instead of criterion's full
+//! statistical machinery (the registry is unreachable in this build
+//! environment).
+//!
+//! Behaviour:
+//! - `--test` (what `cargo bench -- --test` passes) runs every benchmark
+//!   body once and skips measurement, keeping CI smoke runs fast.
+//! - A positional CLI argument filters benchmarks by substring, like real
+//!   criterion.
+//! - Each measured benchmark is auto-calibrated to a short wall-clock
+//!   budget, then reports the median per-iteration time over
+//!   `sample_size` samples.
+//! - If `CRITERION_JSON` is set, results are appended to that file as a
+//!   JSON array of `{id, median_ns, min_ns, samples}` records.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id with no parameter part.
+    pub fn from_name(name: impl Into<String>) -> Self {
+        Self { id: name.into() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self::from_name(s)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured body.
+pub struct Bencher<'a> {
+    mode: Mode,
+    /// Filled in by `iter`: per-iteration nanoseconds for each sample.
+    samples_ns: &'a mut Vec<f64>,
+    sample_size: usize,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// `--test`: run the body once, no timing.
+    Smoke,
+    Measure,
+}
+
+impl Bencher<'_> {
+    /// Times `body`, auto-calibrating the iteration count per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.mode == Mode::Smoke {
+            std_black_box(body());
+            return;
+        }
+        // Calibrate: grow the batch until one batch takes >= 2ms (or a
+        // single iteration already exceeds it).
+        let mut iters: u64 = 1;
+        let budget = Duration::from_millis(2);
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(body());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= budget || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 2).max(1);
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(body());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+struct Record {
+    id: String,
+    median_ns: f64,
+    /// Fastest sample — the most noise-robust statistic on shared machines
+    /// (any slowdown is external; the code can't run faster than it does).
+    min_ns: f64,
+    samples: usize,
+}
+
+/// Top-level harness state; created by `criterion_main!`.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Measure,
+            filter: None,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds from CLI args: `--test` selects smoke mode; the first
+    /// non-flag argument is a substring filter. Unknown flags are ignored.
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.mode = Mode::Smoke;
+            } else if !arg.starts_with('-') && c.filter.is_none() {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        self.run_one(id.to_string(), 10, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples_ns = Vec::new();
+        let mut b = Bencher {
+            mode: self.mode,
+            samples_ns: &mut samples_ns,
+            sample_size,
+        };
+        f(&mut b);
+        if self.mode == Mode::Smoke {
+            println!("{id}: smoke ok");
+            return;
+        }
+        if samples_ns.is_empty() {
+            return;
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        println!("{id:<50} time: {} (min {})", fmt_ns(median), fmt_ns(min));
+        self.records.push(Record {
+            id,
+            median_ns: median,
+            min_ns: min,
+            samples: samples_ns.len(),
+        });
+    }
+
+    /// Prints the run summary and, if `CRITERION_JSON` is set, writes the
+    /// collected records to that path as a JSON array.
+    pub fn final_summary(&self) {
+        if self.mode == Mode::Smoke {
+            return;
+        }
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                let mut out = String::from("[\n");
+                for (i, r) in self.records.iter().enumerate() {
+                    let comma = if i + 1 == self.records.len() { "" } else { "," };
+                    out.push_str(&format!(
+                        "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+                        r.id, r.median_ns, r.min_ns, r.samples, comma
+                    ));
+                }
+                out.push_str("]\n");
+                let _ = f.write_all(out.as_bytes());
+                println!("wrote {} records to {path}", self.records.len());
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `group-name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.c.run_one(full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f(b, input)` under `group-name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.c.run_one(full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (markers only; measurement happens eagerly).
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::criterion_group!`: defines a function running each
+/// target against a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].id, "g/sum/10");
+        assert!(c.records[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            ..Criterion::default()
+        };
+        c.bench_function("abc", |b| b.iter(|| 1 + 1));
+        assert!(c.records.is_empty());
+    }
+}

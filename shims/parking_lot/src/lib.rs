@@ -1,0 +1,50 @@
+//! Offline vendored shim for `parking_lot`, backed by `std::sync`.
+//!
+//! Only [`Mutex`] is provided — the single parking_lot type this workspace
+//! uses. The API difference that matters is that `parking_lot::Mutex::lock`
+//! is infallible; this shim preserves that by treating poisoning as fatal
+//! (a panicked criterion already aborts the test run that mattered).
+
+use std::sync::MutexGuard;
+
+/// `parking_lot::Mutex`-shaped wrapper over [`std::sync::Mutex`].
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Infallible like
+    /// parking_lot's; recovers the data from a poisoned lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline vendored shim for the subset of `rand` this workspace uses.
+//!
+//! The build environment has no network access and an empty crates.io
+//! registry, so the real `rand` crate cannot be fetched. This shim keeps the
+//! same package name and API surface (`RngCore`, `RngExt`, `SeedableRng`,
+//! `random`, `random_range`) so the rest of the workspace compiles unchanged;
+//! swapping the real crate back in is a one-line `Cargo.toml` change.
+//!
+//! Distribution quality notes: integer ranges use a modulo reduction (bias
+//! is at most `width / 2^64`, irrelevant at the range widths used here) and
+//! floats use the standard 53-bit mantissa construction.
+
+/// A source of random 64-bit words. Mirror of `rand_core::RngCore`, reduced
+/// to the one primitive everything else derives from.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a seed. Mirror of `rand::SeedableRng`,
+/// reduced to the `seed_from_u64` entry point the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling of a value uniformly distributed over a type's full domain
+/// (integers: all bit patterns; `f64`: the unit interval `[0, 1)`).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` via the 53-bit
+/// mantissa construction.
+#[inline]
+pub fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// A type with a uniform-over-an-interval sampler. Mirror of
+/// `rand::distr::uniform::SampleUniform`, reduced to one entry point.
+pub trait SampleUniform: Sized {
+    /// A value uniform over `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`). Callers guarantee the interval is non-empty.
+    fn sample_interval(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                // Width fits u128 for every integer type up to 64 bits,
+                // signed included. Modulo bias is at most width / 2^64.
+                let width = (hi as i128 - lo as i128 + if inclusive { 1 } else { 0 }) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % width) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_interval(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self {
+        if inclusive {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_991.0);
+            lo + unit * (hi - lo)
+        } else {
+            let v = lo + unit_f64(rng.next_u64()) * (hi - lo);
+            // Guard against the multiply rounding up to the excluded endpoint.
+            if v < hi {
+                v
+            } else {
+                lo
+            }
+        }
+    }
+}
+
+/// A range that knows how to sample itself. Mirror of
+/// `rand::distr::uniform::SampleRange`. The blanket impls over
+/// [`SampleUniform`] (rather than per-type impls) matter for inference:
+/// they let `rng.random_range(0..k)` unify the literal's type with the use
+/// site (e.g. a `usize` index), exactly like the real crate.
+pub trait SampleRange<T> {
+    /// Draws one value of the range from `rng`; panics on an empty range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_interval(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_interval(lo, hi, true, rng)
+    }
+}
+
+/// Convenience sampling methods on any [`RngCore`]. Mirror of `rand::Rng`
+/// (named `RngExt` in the rand 0.10 line this workspace targets).
+pub trait RngExt: RngCore {
+    /// A value uniform over `T`'s full domain (`f64`: `[0, 1)`).
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A value uniform over `range`; panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let a: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&a));
+            let b: f64 = rng.random_range(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&b));
+            let c: u64 = rng.random_range(9..=9);
+            assert_eq!(c, 9);
+            let d: f64 = rng.random_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Counter(1);
+        let _: usize = rng.random_range(5..5);
+    }
+
+    #[test]
+    fn unit_f64_covers_unit_interval() {
+        assert_eq!(unit_f64(0), 0.0);
+        assert!(unit_f64(u64::MAX) < 1.0);
+    }
+}

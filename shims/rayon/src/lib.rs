@@ -1,0 +1,145 @@
+//! Offline vendored shim for `rayon`.
+//!
+//! Exposes the parallel-iterator entry points this workspace calls
+//! (`par_iter`, `par_iter_mut`, `into_par_iter` and the combinators chained
+//! off them) but executes them **sequentially** on the calling thread. The
+//! registry is unreachable in this build environment, so the real work-
+//! stealing pool cannot be fetched; sequential execution is semantically
+//! identical for every use here (all reductions in the workspace are
+//! deterministic and order-insensitive by construction — see
+//! `crates/core/src/gmm.rs` for the explicitly order-pinned reduction).
+//!
+//! Swapping the real rayon back in is a one-line `Cargo.toml` change; no
+//! source edits needed.
+
+/// Sequential stand-in for rayon's parallel iterators. Wraps any
+/// [`Iterator`] and re-exposes the combinator subset the workspace chains.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// See [`Iterator::map`].
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// See [`Iterator::enumerate`].
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// See [`Iterator::filter`].
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Pairs with another parallel iterator, like rayon's
+    /// `IndexedParallelIterator::zip`.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// See [`Iterator::collect`].
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// See [`Iterator::sum`].
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// See [`Iterator::count`].
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Rayon's two-argument reduce: folds with `op` from the identity
+    /// produced by `identity`. Sequential fold gives the same result for
+    /// the associative, identity-respecting operators rayon requires.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// See [`Iterator::for_each`].
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+}
+
+/// `par_iter`/`par_iter_mut` on slices (and anything derefing to one).
+pub trait ParSliceExt<T> {
+    /// Sequential stand-in for `rayon::prelude::IntoParallelRefIterator::par_iter`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+
+    /// Sequential stand-in for
+    /// `rayon::prelude::IntoParallelRefMutIterator::par_iter_mut`.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+}
+
+impl<T> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+}
+
+/// `into_par_iter` on any owned iterable (ranges, vectors, ...).
+pub trait IntoParIterExt: IntoIterator + Sized {
+    /// Sequential stand-in for
+    /// `rayon::prelude::IntoParallelIterator::into_par_iter`.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator> IntoParIterExt for T {}
+
+/// Mirror of `rayon::prelude` — the import path used at every call site.
+pub mod prelude {
+    pub use crate::{IntoParIterExt, ParIter, ParSliceExt};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v = [1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn zip_enumerate_reduce() {
+        let a = [1.0f64, 5.0, 3.0];
+        let mut b = [10.0f64, 0.0, 10.0];
+        let best = a
+            .par_iter()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .map(|(i, (&x, slot))| {
+                *slot = slot.min(x);
+                (x, i)
+            })
+            .reduce(
+                || (f64::NEG_INFINITY, usize::MAX),
+                |acc, cur| if cur.0 > acc.0 { cur } else { acc },
+            );
+        assert_eq!(best, (5.0, 1));
+        assert_eq!(b, [1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let total: usize = (0..10usize).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(total, 90);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline vendored shim for `serde`.
+//!
+//! Provides marker traits with the canonical names plus (behind the usual
+//! `derive` feature) no-op derive macros, so `#[derive(Serialize,
+//! Deserialize)]` and `use serde::Serialize` keep compiling while the
+//! registry is unreachable. The workspace serializes exclusively through
+//! hand-rolled CSV/JSON writers, so nothing consumes these traits' methods —
+//! they carry none.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
