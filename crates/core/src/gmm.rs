@@ -93,9 +93,11 @@ pub fn gmm<M: MetricSpace + ?Sized>(metric: &M, subset: &[u32], k: usize) -> Gmm
             break;
         }
         // Relax distances against the newly selected center, tracking the
-        // new furthest unselected point. Parallel for large inputs; the
-        // reduction prefers larger distance then lower index, matching the
-        // sequential scan exactly (determinism).
+        // new furthest unselected point. Large inputs run across the worker
+        // pool; the reduction selects the lexicographic max of (distance,
+        // lower index), a total order, so any associative combine of the
+        // fixed chunk partials matches the sequential scan exactly
+        // (determinism at every thread count).
         const PAR_THRESHOLD: usize = 4096;
         let best = if subset.len() >= PAR_THRESHOLD {
             use rayon::prelude::*;

@@ -122,12 +122,28 @@ impl<'a, M: MetricSpace + ?Sized> MemoizedSpace<'a, M> {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let d: Arc<Vec<f64>> = Arc::new(
+        // Large fills split candidate chunks across the worker pool; each
+        // entry is an independent `dist` call and chunks concatenate in
+        // order, so the filled vector is identical at every thread count.
+        let filled: Vec<f64> = if mpc_metric::par_bulk(candidates.len()) {
+            use rayon::prelude::*;
+            let parts: Vec<Vec<f64>> = candidates
+                .par_chunks(mpc_metric::par_chunk_size(candidates.len()))
+                .map(|chunk| {
+                    chunk
+                        .iter()
+                        .map(|&c| self.inner.dist(v, PointId(c)))
+                        .collect()
+                })
+                .collect();
+            parts.concat()
+        } else {
             candidates
                 .iter()
                 .map(|&c| self.inner.dist(v, PointId(c)))
-                .collect(),
-        );
+                .collect()
+        };
+        let d: Arc<Vec<f64>> = Arc::new(filled);
         let mut state = self.state.lock().unwrap();
         if state.stored + d.len() > self.capacity {
             state.map.clear();

@@ -57,11 +57,22 @@ pub trait GraphView: Sync {
     /// vertex in `vs` within `candidates`, in order. The hot scans of
     /// Algorithms 3–4 (sampled-neighbor counts, exact-light partials) call
     /// this so implicit graphs can route the whole batch through one metric
-    /// kernel per vertex instead of per-pair oracle calls.
+    /// kernel per vertex instead of per-pair oracle calls. When the
+    /// `vs × candidates` grid is large enough (see
+    /// [`mpc_metric::par_bulk_pairs`]) the per-vertex scans run across the
+    /// worker pool; the order-preserving collect keeps the output identical
+    /// to the sequential loop.
     fn degrees_among(&self, vs: &[u32], candidates: &[u32]) -> Vec<usize> {
-        vs.iter()
-            .map(|&v| self.degree_among(v, candidates))
-            .collect()
+        if mpc_metric::par_bulk_pairs(vs.len(), candidates.len()) {
+            use rayon::prelude::*;
+            vs.par_iter()
+                .map(|&v| self.degree_among(v, candidates))
+                .collect()
+        } else {
+            vs.iter()
+                .map(|&v| self.degree_among(v, candidates))
+                .collect()
+        }
     }
 }
 

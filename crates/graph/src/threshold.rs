@@ -81,11 +81,23 @@ impl<M: MetricSpace> GraphView for ThresholdGraph<M> {
     }
 
     /// One metric kernel invocation per vertex; candidate ids are scanned
-    /// with the flat-storage kernels of coordinate-backed spaces.
+    /// with the flat-storage kernels of coordinate-backed spaces. Large
+    /// `vs × candidates` grids fan the per-vertex kernels out across the
+    /// worker pool (nested kernel-level parallelism inside each call is
+    /// fine — the pool is deadlock-free under nesting); the
+    /// order-preserving collect keeps the output identical to the
+    /// sequential loop.
     fn degrees_among(&self, vs: &[u32], candidates: &[u32]) -> Vec<usize> {
-        vs.iter()
-            .map(|&v| self.degree_among(v, candidates))
-            .collect()
+        if mpc_metric::par_bulk_pairs(vs.len(), candidates.len()) {
+            use rayon::prelude::*;
+            vs.par_iter()
+                .map(|&v| self.degree_among(v, candidates))
+                .collect()
+        } else {
+            vs.iter()
+                .map(|&v| self.degree_among(v, candidates))
+                .collect()
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Euclidean (L2) metric over flat point storage.
 
 use crate::point::{PointId, PointSet};
-use crate::space::MetricSpace;
+use crate::space::{self, MetricSpace};
 
 /// The Euclidean metric `d(x, y) = ||x - y||_2` over a [`PointSet`].
 #[derive(Debug, Clone)]
@@ -61,7 +61,9 @@ impl MetricSpace for EuclideanSpace {
     /// indirection or per-pair slice setup), squared-threshold comparison
     /// with no sqrt — the bulk extension of the [`EuclideanSpace::dist_sq`]
     /// trick above. The `zip` keeps the inner loop bounds-check-free so it
-    /// vectorizes.
+    /// vectorizes. Batches past [`space::PAR_MIN_BULK`] split into fixed
+    /// candidate chunks across the worker pool; the integer chunk counts
+    /// sum to exactly the sequential count.
     fn count_within(&self, v: PointId, candidates: &[u32], tau: f64) -> usize {
         if tau < 0.0 {
             return 0;
@@ -70,22 +72,31 @@ impl MetricSpace for EuclideanSpace {
         let dim = self.points.dim();
         let data = self.points.raw();
         let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
-        candidates
-            .iter()
-            .filter(|&&c| {
-                let b = &data[c as usize * dim..c as usize * dim + dim];
-                let mut acc = 0.0;
-                for (x, y) in a.iter().zip(b) {
-                    let t = x - y;
-                    acc += t * t;
-                }
-                acc <= t2
-            })
-            .count()
+        let scan = |chunk: &[u32]| {
+            chunk
+                .iter()
+                .filter(|&&c| {
+                    let b = &data[c as usize * dim..c as usize * dim + dim];
+                    let mut acc = 0.0;
+                    for (x, y) in a.iter().zip(b) {
+                        let t = x - y;
+                        acc += t * t;
+                    }
+                    acc <= t2
+                })
+                .count()
+        };
+        if space::par_bulk(candidates.len()) {
+            space::par_count_chunks(candidates, scan)
+        } else {
+            scan(candidates)
+        }
     }
 
     /// Batched filter twin of [`MetricSpace::count_within`]; same kernel,
-    /// collecting ids instead of counting.
+    /// collecting ids instead of counting. The parallel path concatenates
+    /// per-chunk survivors in chunk order, so candidate order is preserved
+    /// exactly as in the sequential filter.
     fn neighbors_within(&self, v: PointId, candidates: &[u32], tau: f64, out: &mut Vec<u32>) {
         out.clear();
         if tau < 0.0 {
@@ -95,7 +106,7 @@ impl MetricSpace for EuclideanSpace {
         let dim = self.points.dim();
         let data = self.points.raw();
         let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
-        out.extend(candidates.iter().copied().filter(|&c| {
+        let keep = |c: u32| {
             let b = &data[c as usize * dim..c as usize * dim + dim];
             let mut acc = 0.0;
             for (x, y) in a.iter().zip(b) {
@@ -103,7 +114,14 @@ impl MetricSpace for EuclideanSpace {
                 acc += t * t;
             }
             acc <= t2
-        }));
+        };
+        if space::par_bulk(candidates.len()) {
+            space::par_filter_chunks(candidates, out, |chunk| {
+                chunk.iter().copied().filter(|&c| keep(c)).collect()
+            });
+        } else {
+            out.extend(candidates.iter().copied().filter(|&c| keep(c)));
+        }
     }
 }
 

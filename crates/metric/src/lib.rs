@@ -43,4 +43,7 @@ pub use jaccard::JaccardSpace;
 pub use matrix::MatrixSpace;
 pub use minkowski::{ChebyshevSpace, ManhattanSpace};
 pub use point::{PointId, PointSet};
-pub use space::{dist_point_to_set, dist_set_to_set, min_pairwise_distance, MetricSpace};
+pub use space::{
+    dist_point_to_set, dist_set_to_set, min_pairwise_distance, par_bulk, par_bulk_pairs,
+    par_chunk_size, par_count_chunks, par_filter_chunks, MetricSpace, PAR_MIN_BULK,
+};

@@ -2,7 +2,7 @@
 //! oracle, for metrics with no coordinate structure at all.
 
 use crate::point::PointId;
-use crate::space::MetricSpace;
+use crate::space::{self, MetricSpace};
 
 /// A metric given by an explicit `n × n` distance matrix.
 ///
@@ -123,26 +123,42 @@ impl MetricSpace for MatrixSpace {
     }
 
     /// Batched kernel: borrow `v`'s matrix row once and scan it
-    /// contiguously, instead of recomputing the row offset per pair.
+    /// contiguously, instead of recomputing the row offset per pair. Large
+    /// batches fan candidate chunks out across the worker pool (see
+    /// [`space::par_bulk`]); integer chunk counts sum exactly, so the
+    /// parallel and sequential answers coincide.
     fn count_within(&self, v: PointId, candidates: &[u32], tau: f64) -> usize {
         let row = &self.d[v.idx() * self.n..(v.idx() + 1) * self.n];
-        candidates
-            .iter()
-            .filter(|&&c| row[c as usize] <= tau)
-            .count()
+        let scan = |chunk: &[u32]| chunk.iter().filter(|&&c| row[c as usize] <= tau).count();
+        if space::par_bulk(candidates.len()) {
+            space::par_count_chunks(candidates, scan)
+        } else {
+            scan(candidates)
+        }
     }
 
     /// Batched filter twin of [`MetricSpace::count_within`] over the same
-    /// contiguous row slice.
+    /// contiguous row slice; per-chunk survivors concatenate in chunk
+    /// order, preserving the sequential output order.
     fn neighbors_within(&self, v: PointId, candidates: &[u32], tau: f64, out: &mut Vec<u32>) {
         out.clear();
         let row = &self.d[v.idx() * self.n..(v.idx() + 1) * self.n];
-        out.extend(
-            candidates
-                .iter()
-                .copied()
-                .filter(|&c| row[c as usize] <= tau),
-        );
+        if space::par_bulk(candidates.len()) {
+            space::par_filter_chunks(candidates, out, |chunk| {
+                chunk
+                    .iter()
+                    .copied()
+                    .filter(|&c| row[c as usize] <= tau)
+                    .collect()
+            });
+        } else {
+            out.extend(
+                candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| row[c as usize] <= tau),
+            );
+        }
     }
 }
 

@@ -1,6 +1,70 @@
 //! The distance-oracle trait and common set-distance helpers.
 
 use crate::point::PointId;
+use rayon::prelude::*;
+
+/// Minimum candidate-batch size before a bulk kernel fans out across the
+/// worker pool. Below this the pool's publish/claim overhead (an op push,
+/// a condvar wake, one atomic per chunk) is on the order of the scan
+/// itself; above it the scan cost dominates.
+pub const PAR_MIN_BULK: usize = 4096;
+
+/// Whether a bulk kernel over `n_candidates` items should take its
+/// parallel path: the batch is at least [`PAR_MIN_BULK`] *and* the calling
+/// thread's effective pool width exceeds 1. At `threads = 1` kernels never
+/// enter the chunked path, so the single-thread mode runs the exact
+/// sequential scans it always has.
+pub fn par_bulk(n_candidates: usize) -> bool {
+    n_candidates >= PAR_MIN_BULK && rayon::current_num_threads() > 1
+}
+
+/// Gate for kernels that scan a `rows × cols` pair grid (e.g.
+/// `degrees_among`): parallelize over rows only when there are at least
+/// two and the grid is big enough to amortize the op overhead.
+pub fn par_bulk_pairs(rows: usize, cols: usize) -> bool {
+    rows >= 2 && rows.saturating_mul(cols) >= PAR_MIN_BULK && rayon::current_num_threads() > 1
+}
+
+/// Chunk size the parallel kernels split candidate batches into: an even
+/// split over the pool's fixed [`rayon::pool::MAX_CHUNKS`], floored at
+/// 1024 items so the tail chunks stay worth claiming. A function of the
+/// item count **only** — the same batch splits identically at every
+/// thread count ≥ 2, which (with associative combines) is what keeps
+/// kernel outputs bit-for-bit reproducible across pool sizes.
+pub fn par_chunk_size(n_candidates: usize) -> usize {
+    n_candidates.div_ceil(rayon::pool::MAX_CHUNKS).max(1024)
+}
+
+/// Runs `chunk_kernel` over fixed-size chunks of `candidates` on the
+/// worker pool and sums the per-chunk counts. Counts are exact integers,
+/// so the chunked sum equals the sequential count no matter how chunks
+/// were scheduled. Callers gate on [`par_bulk`] first.
+pub fn par_count_chunks(
+    candidates: &[u32],
+    chunk_kernel: impl Fn(&[u32]) -> usize + Sync,
+) -> usize {
+    candidates
+        .par_chunks(par_chunk_size(candidates.len()))
+        .map(chunk_kernel)
+        .sum()
+}
+
+/// Filter twin of [`par_count_chunks`]: runs `chunk_kernel` over fixed
+/// chunks and concatenates the surviving ids in chunk order, preserving
+/// candidate order exactly as the sequential filter would.
+pub fn par_filter_chunks(
+    candidates: &[u32],
+    out: &mut Vec<u32>,
+    chunk_kernel: impl Fn(&[u32]) -> Vec<u32> + Sync,
+) {
+    let parts: Vec<Vec<u32>> = candidates
+        .par_chunks(par_chunk_size(candidates.len()))
+        .map(chunk_kernel)
+        .collect();
+    for part in parts {
+        out.extend(part);
+    }
+}
 
 /// A finite metric space with an O(1) distance oracle, mirroring the paper's
 /// model (§2): "the distance between any two points in the space can be

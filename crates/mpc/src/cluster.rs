@@ -12,12 +12,23 @@ use crate::rng::machine_rng;
 /// entry per machine) and drive it through two kinds of operations:
 ///
 /// * [`Cluster::map`] — machine-local computation, executed for all
-///   machines in parallel via rayon. Free in the MPC model (no round, no
-///   communication), as the model allows arbitrary polynomial local work.
+///   machines concurrently on the worker pool behind the `rayon` shim
+///   (`KCENTER_THREADS` / [`rayon::with_threads`] control the width). Free
+///   in the MPC model (no round, no communication), as the model allows
+///   arbitrary polynomial local work.
 /// * collectives ([`Cluster::all_broadcast`], [`Cluster::gather`],
 ///   [`Cluster::broadcast`], [`Cluster::scatter`], and the reduction
 ///   helpers) — each consumes exactly **one MPC round** and charges every
 ///   machine's sent/received word counts to the [`Ledger`].
+///
+/// The ledger stays **single-writer** under real threads: machine closures
+/// run on pool workers but never touch the ledger (local work is free, so
+/// there is nothing to record); each collective computes its per-machine
+/// [`MachineIo`] rows from the contribution sizes on the driving thread and
+/// commits them in one `record_round` call — the round barrier at which the
+/// per-machine sub-ledgers merge. Word and round counts are therefore a
+/// pure function of the simulated communication pattern, independent of how
+/// the OS schedules worker threads.
 ///
 /// Machine 0 plays the paper's *central machine*.
 ///
@@ -110,8 +121,12 @@ impl Cluster {
     }
 
     /// Machine-local computation: runs `f(machine, &input[machine])` for
-    /// every machine in parallel and collects the outputs. Costs no round
-    /// and no communication.
+    /// every machine across the worker pool and collects the outputs in
+    /// machine order. Costs no round and no communication. Outputs are
+    /// deterministic regardless of scheduling: the collect is
+    /// order-preserving and `f` sees only its own machine's input (plus
+    /// the per-machine RNG streams of [`Cluster::rng`], which are keyed by
+    /// machine index, not by thread).
     pub fn map<T, U, F>(&self, inputs: &[T], f: F) -> Vec<U>
     where
         T: Sync,
