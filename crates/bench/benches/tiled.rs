@@ -1,0 +1,71 @@
+//! Multi-query tiled kernel benchmarks (`BENCH_tiled.json`): the
+//! `count_within_many` Gram-block kernel against the Q-independent-calls
+//! baseline (`count_within` in a loop), at d ∈ {4, 32} × n ∈ {1e4, 1e5} ×
+//! Q ∈ {64, 1024} and thread counts {1, default} (deduplicated — on a
+//! 1-core host only `t1` runs). Ids embed every axis, e.g.
+//! `tiled/many-d32-n100000-q1024/t1` vs `tiled/loop-d32-n100000-q1024/t1`.
+//!
+//! The ISSUE 4 acceptance criterion reads off this group: at threads=1,
+//! d=32, n=1e5, Q=1024, `many` must be ≥ 2× faster than `loop` — pure
+//! cache blocking + the cached-norm dot-product inner loop, no
+//! parallelism. The consistency proptests
+//! (`crates/metric/tests/kernel_consistency.rs`) separately pin that both
+//! ids compute identical answers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_metric::{datasets, EuclideanSpace, MetricSpace, PointId};
+use rayon::with_threads;
+
+/// Thread counts to measure: sequential and the process default,
+/// deduplicated.
+fn thread_variants() -> Vec<usize> {
+    let mut v = vec![1, rayon::default_threads()];
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn bench_tiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiled");
+    group.sample_size(10);
+    for dim in [4usize, 32] {
+        for n in [10_000usize, 100_000] {
+            let metric = EuclideanSpace::new(datasets::uniform_cube(n, dim, 7));
+            let tau = mpc_bench::distance_quantile(&metric, 0.2, 7);
+            let candidates: Vec<u32> = (0..n as u32).collect();
+            for q in [64usize, 1024] {
+                // Queries spread across the id range with a prime stride,
+                // so tiles see no accidental locality between query rows.
+                let vs: Vec<u32> = (0..q).map(|i| (i * 7919 % n) as u32).collect();
+                for t in thread_variants() {
+                    group.bench_with_input(
+                        BenchmarkId::new(format!("many-d{dim}-n{n}-q{q}"), format!("t{t}")),
+                        &t,
+                        |b, &t| {
+                            b.iter(|| {
+                                with_threads(t, || metric.count_within_many(&vs, &candidates, tau))
+                            })
+                        },
+                    );
+                    group.bench_with_input(
+                        BenchmarkId::new(format!("loop-d{dim}-n{n}-q{q}"), format!("t{t}")),
+                        &t,
+                        |b, &t| {
+                            b.iter(|| {
+                                with_threads(t, || {
+                                    vs.iter()
+                                        .map(|&v| metric.count_within(PointId(v), &candidates, tau))
+                                        .collect::<Vec<usize>>()
+                                })
+                            })
+                        },
+                    );
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiled);
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! Benchmark regression gate: compares a fresh criterion run against a
+//! checked-in `BENCH_*.json` and fails on median regressions.
+//!
+//! ```text
+//! bench_diff [--threshold PCT] [--require-all] <baseline.json> <fresh.json>
+//! ```
+//!
+//! Both files use the shim's `CRITERION_JSON` format — a JSON array of
+//! `{"id", "median_ns", "min_ns", "samples"}` records. For every id
+//! present in both files the fresh median may exceed the baseline median
+//! by at most `PCT` percent (default 25). Ids only in the baseline are a
+//! warning (the fresh run may have been filtered), or an error under
+//! `--require-all`; ids only in the fresh run are reported but never
+//! fatal, so adding benchmarks doesn't require regenerating baselines in
+//! the same commit.
+//!
+//! Exit status: 0 when every shared id is within the threshold, 1
+//! otherwise — which is what lets CI use this as a smoke leg:
+//!
+//! ```text
+//! CRITERION_JSON=/tmp/fresh.json cargo bench -p mpc-bench --bench tiled
+//! cargo run --release -p mpc-bench --bin bench_diff -- BENCH_tiled.json /tmp/fresh.json
+//! ```
+//!
+//! No serde: the shim's writer emits one record per line with no nested
+//! structures or escaped quotes, so a string scanner is enough (and keeps
+//! the tool dependency-free).
+
+use std::process::ExitCode;
+
+/// One benchmark measurement parsed back out of the shim's JSON.
+struct Record {
+    id: String,
+    median_ns: f64,
+}
+
+/// Extracts the string value of `"key": "…"` from one object's text.
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = obj[obj.find(&pat)? + pat.len()..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the numeric value of `"key": <number>` from one object's text.
+fn field_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = obj[obj.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses every `{…}` object in a `CRITERION_JSON` file. Objects missing
+/// either field are an error — a malformed baseline silently parsed as
+/// empty would pass every gate.
+fn parse_records(text: &str, path: &str) -> Result<Vec<Record>, String> {
+    let mut records = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..]
+            .find('}')
+            .ok_or_else(|| format!("{path}: unterminated object"))?;
+        let obj = &rest[start..start + end + 1];
+        let id = field_str(obj, "id").ok_or_else(|| format!("{path}: object without id: {obj}"))?;
+        let median_ns = field_num(obj, "median_ns")
+            .ok_or_else(|| format!("{path}: record {id} without median_ns"))?;
+        records.push(Record { id, median_ns });
+        rest = &rest[start + end + 1..];
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: no benchmark records found"));
+    }
+    Ok(records)
+}
+
+fn run() -> Result<bool, String> {
+    let mut threshold_pct = 25.0f64;
+    let mut require_all = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().ok_or("--threshold needs a value")?;
+                threshold_pct = v
+                    .parse()
+                    .map_err(|_| format!("bad --threshold value: {v}"))?;
+            }
+            "--require-all" => require_all = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_diff [--threshold PCT] [--require-all] \
+                     <baseline.json> <fresh.json>"
+                );
+                return Ok(true);
+            }
+            _ => files.push(arg),
+        }
+    }
+    let [baseline_path, fresh_path] = files.as_slice() else {
+        return Err("expected exactly two files: <baseline.json> <fresh.json>".into());
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let baseline = parse_records(&read(baseline_path)?, baseline_path)?;
+    let fresh = parse_records(&read(fresh_path)?, fresh_path)?;
+
+    let allowed = 1.0 + threshold_pct / 100.0;
+    let mut ok = true;
+    let mut compared = 0usize;
+    for base in &baseline {
+        let Some(new) = fresh.iter().find(|r| r.id == base.id) else {
+            if require_all {
+                ok = false;
+                println!("MISSING {:60} (baseline-only, --require-all)", base.id);
+            } else {
+                println!("skipped {:60} (not in fresh run)", base.id);
+            }
+            continue;
+        };
+        compared += 1;
+        let ratio = new.median_ns / base.median_ns;
+        let verdict = if ratio > allowed {
+            ok = false;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:9} {:60} {:>12.0} ns -> {:>12.0} ns  ({:+.1}%)",
+            base.id,
+            base.median_ns,
+            new.median_ns,
+            (ratio - 1.0) * 100.0
+        );
+    }
+    for new in &fresh {
+        if !baseline.iter().any(|r| r.id == new.id) {
+            println!("new     {:60} (no baseline)", new.id);
+        }
+    }
+    if compared == 0 {
+        return Err("no shared benchmark ids between baseline and fresh run".into());
+    }
+    println!(
+        "{compared} benchmarks compared against {baseline_path}, threshold +{threshold_pct}% \
+         on medians: {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"id": "tiled/many-d4-n10000-q64/t1", "median_ns": 1706570.0, "min_ns": 1606963.0, "samples": 10},
+  {"id": "tiled/loop-d4-n10000-q64/t1", "median_ns": 1553935.0, "min_ns": 1477839.0, "samples": 10}
+]
+"#;
+
+    #[test]
+    fn parses_shim_output() {
+        let recs = parse_records(SAMPLE, "sample").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "tiled/many-d4-n10000-q64/t1");
+        assert_eq!(recs[0].median_ns, 1706570.0);
+        assert_eq!(recs[1].median_ns, 1553935.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed() {
+        assert!(parse_records("[]", "empty").is_err());
+        assert!(parse_records("[{\"median_ns\": 1.0}]", "noid").is_err());
+        assert!(parse_records("[{\"id\": \"x\"}]", "nomedian").is_err());
+    }
+
+    #[test]
+    fn numeric_field_handles_scientific_notation() {
+        let obj = "{\"id\": \"x\", \"median_ns\": 1.5e6}";
+        assert_eq!(field_num(obj, "median_ns"), Some(1.5e6));
+    }
+}

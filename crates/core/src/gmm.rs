@@ -83,6 +83,9 @@ pub fn gmm<M: MetricSpace + ?Sized>(metric: &M, subset: &[u32], k: usize) -> Gmm
 
     let mut next = 0usize; // index into subset of the point to add
     let mut next_radius = f64::INFINITY;
+    // Scratch for the bulk distance fills: one |subset|-long vector reused
+    // across iterations.
+    let mut dists = Vec::with_capacity(subset.len());
     while selected.len() < k {
         let v = subset[next];
         selected.push(v);
@@ -92,21 +95,25 @@ pub fn gmm<M: MetricSpace + ?Sized>(metric: &M, subset: &[u32], k: usize) -> Gmm
             next_radius = 0.0;
             break;
         }
-        // Relax distances against the newly selected center, tracking the
-        // new furthest unselected point. Large inputs run across the worker
-        // pool; the reduction selects the lexicographic max of (distance,
-        // lower index), a total order, so any associative combine of the
-        // fixed chunk partials matches the sequential scan exactly
-        // (determinism at every thread count).
+        // One bulk kernel computes d(v, ·) against the whole subset
+        // (`dists_into` is bit-identical to the per-pair `dist` loop, and
+        // metric symmetry holds bitwise for every implementation here), then
+        // the relaxation tracks the new furthest unselected point. Large
+        // inputs run the relaxation across the worker pool; the reduction
+        // selects the lexicographic max of (distance, lower index), a total
+        // order, so any associative combine of the fixed chunk partials
+        // matches the sequential scan exactly (determinism at every thread
+        // count).
+        metric.dists_into(v.into(), subset, &mut dists);
         const PAR_THRESHOLD: usize = 4096;
         let best = if subset.len() >= PAR_THRESHOLD {
             use rayon::prelude::*;
-            subset
+            dists
                 .par_iter()
                 .zip(dist_to_sel.par_iter_mut())
                 .enumerate()
-                .map(|(i, (&p, slot))| {
-                    let d = metric.dist(p.into(), v.into()).min(*slot);
+                .map(|(i, (&dv, slot))| {
+                    let d = dv.min(*slot);
                     *slot = d;
                     if chosen[i] {
                         (f64::NEG_INFINITY, usize::MAX)
@@ -126,8 +133,8 @@ pub fn gmm<M: MetricSpace + ?Sized>(metric: &M, subset: &[u32], k: usize) -> Gmm
                 )
         } else {
             let mut best = (f64::NEG_INFINITY, usize::MAX);
-            for (i, &p) in subset.iter().enumerate() {
-                let d = metric.dist(p.into(), v.into()).min(dist_to_sel[i]);
+            for (i, &dv) in dists.iter().enumerate() {
+                let d = dv.min(dist_to_sel[i]);
                 dist_to_sel[i] = d;
                 if !chosen[i] && d > best.0 {
                     best = (d, i);

@@ -277,12 +277,17 @@ pub fn k_bounded_mis<M: MetricSpace + ?Sized>(
         }
 
         // Lines 17–18: broadcast the additions; machines delete closed
-        // neighborhoods locally.
+        // neighborhoods locally. One multi-query kernel per machine scans
+        // the whole alive share against Δ (degrees of Δ-members are
+        // computed too, but Δ is tiny and they are dropped by the
+        // membership test regardless).
         cluster.broadcast("mis/delta", delta.len(), w);
         let new_alive: Vec<Vec<u32>> = cluster.map(&alive, |_, vi| {
+            let degs = graph.degrees_among(vi, &delta);
             vi.iter()
-                .copied()
-                .filter(|&v| !delta.contains(&v) && graph.degree_among(v, &delta) == 0)
+                .zip(degs)
+                .filter(|&(v, d)| d == 0 && !delta.contains(v))
+                .map(|(&v, _)| v)
                 .collect()
         });
         alive = new_alive;

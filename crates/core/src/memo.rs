@@ -109,6 +109,30 @@ impl<'a, M: MetricSpace + ?Sized> MemoizedSpace<'a, M> {
         self.state.lock().unwrap().flushes
     }
 
+    /// Computes the distance vector for one missing query through the
+    /// inner space's bulk [`MetricSpace::dists_into`] kernel — bit-identical
+    /// to a per-pair `dist` loop by that method's contract, at every thread
+    /// count by the chunked fill's determinism contract.
+    fn fill_vector(&self, v: PointId, candidates: &[u32]) -> Arc<Vec<f64>> {
+        let mut filled = Vec::new();
+        self.inner.dists_into(v, candidates, &mut filled);
+        Arc::new(filled)
+    }
+
+    /// Inserts a freshly computed vector, honoring the capacity cap with
+    /// the epoch flush.
+    fn store(&self, state: &mut MemoState, key: (u32, u64), d: &Arc<Vec<f64>>) {
+        if state.stored + d.len() > self.capacity {
+            state.map.clear();
+            state.stored = 0;
+            state.flushes += 1;
+        }
+        if d.len() <= self.capacity {
+            state.stored += d.len();
+            state.map.insert(key, Arc::clone(d));
+        }
+    }
+
     /// The distance vector from `v` to `candidates`, cached by
     /// `(v, fingerprint(candidates))` — deliberately *not* keyed by any
     /// threshold, so every ladder rung shares one entry.
@@ -122,39 +146,73 @@ impl<'a, M: MetricSpace + ?Sized> MemoizedSpace<'a, M> {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        // Large fills split candidate chunks across the worker pool; each
-        // entry is an independent `dist` call and chunks concatenate in
-        // order, so the filled vector is identical at every thread count.
-        let filled: Vec<f64> = if mpc_metric::par_bulk(candidates.len()) {
-            use rayon::prelude::*;
-            let parts: Vec<Vec<f64>> = candidates
-                .par_chunks(mpc_metric::par_chunk_size(candidates.len()))
-                .map(|chunk| {
-                    chunk
-                        .iter()
-                        .map(|&c| self.inner.dist(v, PointId(c)))
-                        .collect()
-                })
-                .collect();
-            parts.concat()
-        } else {
-            candidates
-                .iter()
-                .map(|&c| self.inner.dist(v, PointId(c)))
-                .collect()
-        };
-        let d: Arc<Vec<f64>> = Arc::new(filled);
-        let mut state = self.state.lock().unwrap();
-        if state.stored + d.len() > self.capacity {
-            state.map.clear();
-            state.stored = 0;
-            state.flushes += 1;
-        }
-        if d.len() <= self.capacity {
-            state.stored += d.len();
-            state.map.insert(key, Arc::clone(&d));
-        }
+        let d = self.fill_vector(v, candidates);
+        self.store(&mut self.state.lock().unwrap(), key, &d);
         d
+    }
+
+    /// Multi-query twin of [`MemoizedSpace::distances`]: one distance
+    /// vector per query in `vs`, against the shared `candidates`. Hits and
+    /// misses are decided for the whole batch under one lock (duplicate
+    /// missing queries collapse onto the first occurrence's fill and count
+    /// as hits, mirroring the sequential loop); the missing vectors are
+    /// then computed in one batched pass — fixed query chunks across the
+    /// worker pool, each vector an independent deterministic fill — and
+    /// inserted in first-occurrence order, so cache state, counters, and
+    /// values are identical at every thread count.
+    fn distances_many(&self, vs: &[u32], candidates: &[u32]) -> Vec<Arc<Vec<f64>>> {
+        let fp = fingerprint(candidates);
+        let mut rows: Vec<Option<Arc<Vec<f64>>>> = vec![None; vs.len()];
+        // missing[i] = (first position, every position) of a distinct
+        // missing vertex, in first-occurrence order.
+        let mut missing: Vec<(u32, Vec<usize>)> = Vec::new();
+        let mut hits = 0u64;
+        {
+            let state = self.state.lock().unwrap();
+            for (i, &v) in vs.iter().enumerate() {
+                if let Some(d) = state.map.get(&(v, fp)) {
+                    hits += 1;
+                    rows[i] = Some(Arc::clone(d));
+                } else if let Some(entry) = missing.iter_mut().find(|(u, _)| *u == v) {
+                    hits += 1;
+                    entry.1.push(i);
+                } else {
+                    missing.push((v, vec![i]));
+                }
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        if !missing.is_empty() {
+            let filled: Vec<Arc<Vec<f64>>> =
+                if mpc_metric::par_bulk_pairs(missing.len(), candidates.len()) {
+                    use rayon::prelude::*;
+                    let chunk = missing.len().div_ceil(rayon::pool::MAX_CHUNKS).max(1);
+                    missing
+                        .par_chunks(chunk)
+                        .map(|part| {
+                            part.iter()
+                                .map(|&(v, _)| self.fill_vector(PointId(v), candidates))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                        .concat()
+                } else {
+                    missing
+                        .iter()
+                        .map(|&(v, _)| self.fill_vector(PointId(v), candidates))
+                        .collect()
+                };
+            let mut state = self.state.lock().unwrap();
+            for ((v, positions), d) in missing.iter().zip(&filled) {
+                self.store(&mut state, (*v, fp), d);
+                for &i in positions {
+                    rows[i] = Some(Arc::clone(d));
+                }
+            }
+        }
+        rows.into_iter().map(|r| r.expect("row filled")).collect()
     }
 }
 
@@ -194,6 +252,42 @@ impl<M: MetricSpace + ?Sized> MetricSpace for MemoizedSpace<'_, M> {
                 .filter(|&(_, &d)| d <= tau)
                 .map(|(&c, _)| c),
         );
+    }
+
+    /// Answers the whole batch from [`MemoizedSpace::distances_many`]:
+    /// cached vectors are compared against `tau` directly, and the misses
+    /// were filled in one batched pass instead of one fill per query.
+    fn count_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<usize> {
+        self.distances_many(vs, candidates)
+            .into_iter()
+            .map(|d| d.iter().filter(|&&d| d <= tau).count())
+            .collect()
+    }
+
+    /// See [`MemoizedSpace::count_within_many`] on this impl.
+    fn neighbors_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<Vec<u32>> {
+        self.distances_many(vs, candidates)
+            .into_iter()
+            .map(|d| {
+                candidates
+                    .iter()
+                    .zip(d.iter())
+                    .filter(|&(_, &d)| d <= tau)
+                    .map(|(&c, _)| c)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Raw distance fills bypass the memo (they are not keyed by a reusable
+    /// `(vertex, candidate-set)` bulk query) and forward to the inner
+    /// space's exact bulk kernel.
+    fn dists_into(&self, v: PointId, candidates: &[u32], out: &mut Vec<f64>) {
+        self.inner.dists_into(v, candidates, out)
+    }
+
+    fn dist_to_set(&self, p: PointId, set: &[PointId]) -> f64 {
+        self.inner.dist_to_set(p, set)
     }
 }
 

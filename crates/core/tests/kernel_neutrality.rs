@@ -10,9 +10,10 @@
 
 use mpc_core::degree::{approximate_degrees, DegreeOutcome};
 use mpc_core::kbmis::k_bounded_mis;
+use mpc_core::kcenter::mpc_kcenter_on;
 use mpc_core::Params;
 use mpc_metric::{datasets, EuclideanSpace, MetricSpace, PointId};
-use mpc_sim::{Cluster, Ledger, Partition};
+use mpc_sim::{Cluster, Partition};
 
 /// Forwards only `n`, `dist` and `point_weight`; `within` and the bulk
 /// kernels fall back to the trait defaults (per-pair `dist <= tau`, sqrt
@@ -29,23 +30,6 @@ impl<M: MetricSpace> MetricSpace for ScalarOnly<M> {
     fn point_weight(&self) -> u64 {
         self.0.point_weight()
     }
-}
-
-fn assert_ledgers_identical(a: &Ledger, b: &Ledger, ctx: &str) {
-    assert_eq!(a.rounds(), b.rounds(), "{ctx}: round counts");
-    for (ra, rb) in a.records().iter().zip(b.records().iter()) {
-        assert_eq!(ra.label, rb.label, "{ctx}: round {} label", ra.round);
-        assert_eq!(
-            ra.per_machine, rb.per_machine,
-            "{ctx}: round {} ({}) traffic",
-            ra.round, ra.label
-        );
-    }
-    assert_eq!(
-        a.max_machine_memory(),
-        b.max_machine_memory(),
-        "{ctx}: peak memory"
-    );
 }
 
 #[test]
@@ -87,7 +71,7 @@ fn degree_approximation_is_unchanged_by_kernel_swap() {
             }
             (f, s) => panic!("{ctx}: outcomes diverged: {f:?} vs {s:?}"),
         }
-        assert_ledgers_identical(ck.ledger(), cs.ledger(), &ctx);
+        ck.ledger().assert_identical(cs.ledger(), &ctx);
     }
 }
 
@@ -113,6 +97,45 @@ fn k_bounded_mis_is_unchanged_by_kernel_swap() {
         assert_eq!(fast.set, slow.set, "{ctx}: MIS");
         assert_eq!(fast.outcome, slow.outcome, "{ctx}: outcome");
         assert_eq!(fast.outer_rounds, slow.outer_rounds, "{ctx}: outer rounds");
-        assert_ledgers_identical(ck.ledger(), cs.ledger(), &ctx);
+        ck.ledger().assert_identical(cs.ledger(), &ctx);
+    }
+}
+
+/// The full Algorithm 5 ladder through the batched kernels — tiled
+/// multi-query threshold scans in `ThresholdGraph::degrees_among` and
+/// `trim`, `dists_into` in GMM, the memo's batched miss fill — must
+/// produce exactly the run the scalar-oracle path produces: same centers,
+/// bitwise-same radii, same rounds, same per-machine words, same peak
+/// memory.
+#[test]
+fn full_kcenter_ladder_is_unchanged_by_kernel_swap() {
+    for (n, m, k, seed) in [(900, 4, 6, 42u64), (600, 8, 10, 7)] {
+        let metric = EuclideanSpace::new(datasets::gaussian_clusters(n, 3, k, 0.05, seed));
+        let scalar = ScalarOnly(metric.clone());
+        let params = Params::practical(m, 0.1, seed);
+
+        let mut ck = Cluster::new(m, seed);
+        let fast = mpc_kcenter_on(&mut ck, &metric, k, &params);
+        let mut cs = Cluster::new(m, seed);
+        let slow = mpc_kcenter_on(&mut cs, &scalar, k, &params);
+
+        let ctx = format!("ladder n={n} m={m} k={k}");
+        assert_eq!(fast.centers, slow.centers, "{ctx}: centers");
+        assert_eq!(
+            fast.radius.to_bits(),
+            slow.radius.to_bits(),
+            "{ctx}: radius"
+        );
+        assert_eq!(
+            fast.coarse_r.to_bits(),
+            slow.coarse_r.to_bits(),
+            "{ctx}: coarse_r"
+        );
+        assert_eq!(fast.boundary_index, slow.boundary_index, "{ctx}: boundary");
+        assert_eq!(
+            fast.telemetry.rounds, slow.telemetry.rounds,
+            "{ctx}: telemetry rounds"
+        );
+        ck.ledger().assert_identical(cs.ledger(), &ctx);
     }
 }

@@ -18,8 +18,10 @@ use mpc_core::kcenter::mpc_kcenter_on;
 use mpc_core::memo::MemoizedSpace;
 use mpc_core::Params;
 use mpc_graph::{GraphView, ThresholdGraph};
-use mpc_metric::{datasets, EuclideanSpace, MatrixSpace, MetricSpace, PointId, PAR_MIN_BULK};
-use mpc_sim::{Cluster, Ledger};
+use mpc_metric::{
+    datasets, dist_set_to_set, EuclideanSpace, MatrixSpace, MetricSpace, PointId, PAR_MIN_BULK,
+};
+use mpc_sim::Cluster;
 use proptest::prelude::*;
 use rayon::with_threads;
 
@@ -34,23 +36,6 @@ fn big_candidates(n: u32, len: usize) -> Vec<u32> {
     (0..len)
         .map(|i| (i as u32).wrapping_mul(7).wrapping_add(3) % n)
         .collect()
-}
-
-fn assert_ledgers_identical(a: &Ledger, b: &Ledger, ctx: &str) {
-    assert_eq!(a.rounds(), b.rounds(), "{ctx}: round counts");
-    for (ra, rb) in a.records().iter().zip(b.records().iter()) {
-        assert_eq!(ra.label, rb.label, "{ctx}: round {} label", ra.round);
-        assert_eq!(
-            ra.per_machine, rb.per_machine,
-            "{ctx}: round {} ({}) traffic",
-            ra.round, ra.label
-        );
-    }
-    assert_eq!(
-        a.max_machine_memory(),
-        b.max_machine_memory(),
-        "{ctx}: peak memory"
-    );
 }
 
 /// Runs both bulk kernels on `space` at every thread count and checks the
@@ -75,6 +60,34 @@ fn check_bulk_kernels<M: MetricSpace>(
     for &t in &THREAD_COUNTS[1..] {
         let got = with_threads(t, run);
         prop_assert_eq!(&got, &baseline, "threads={}", t);
+    }
+    Ok(())
+}
+
+/// Runs the multi-query kernels and the distance-returning bulk paths at
+/// every thread count and checks the 2- and 8-thread answers (bitwise,
+/// for the distances) against the sequential baseline. The query batch is
+/// sized so `|vs| × |candidates|` clears the pair gate and the kernels
+/// split across query chunks.
+fn check_many_kernels<M: MetricSpace>(
+    space: &M,
+    vs: &[u32],
+    candidates: &[u32],
+    tau: f64,
+) -> Result<(), TestCaseError> {
+    let run = || {
+        let counts = space.count_within_many(vs, candidates, tau);
+        let neighbors = space.neighbors_within_many(vs, candidates, tau);
+        let mut dists = Vec::new();
+        space.dists_into(PointId(vs[0]), candidates, &mut dists);
+        let dist_bits: Vec<u64> = dists.iter().map(|d| d.to_bits()).collect();
+        let ids: Vec<PointId> = candidates.iter().map(|&c| PointId(c)).collect();
+        let set_bits = space.dist_to_set(PointId(vs[0]), &ids).to_bits();
+        (counts, neighbors, dist_bits, set_bits)
+    };
+    let baseline = with_threads(1, run);
+    for &t in &THREAD_COUNTS[1..] {
+        prop_assert_eq!(&with_threads(t, run), &baseline, "threads={}", t);
     }
     Ok(())
 }
@@ -131,6 +144,83 @@ proptest! {
         for &t in &THREAD_COUNTS[1..] {
             let got = run(t);
             prop_assert_eq!(&got, &baseline, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn euclidean_many_kernels_identical_across_thread_counts(
+        seed in 0u64..1_000,
+        tau in 0.0f64..2.0,
+    ) {
+        let n = 64u32;
+        // dim 3 exercises the tiled diff path, dim 18 (≥ GRAM_MIN_DIM) the
+        // norm-cached Gram path; both must be thread-count invariant.
+        for dim in [3usize, 18] {
+            let space = EuclideanSpace::new(datasets::uniform_cube(n as usize, dim, seed));
+            let vs = big_candidates(n, 96);
+            let cands = big_candidates(n, 128);
+            check_many_kernels(&space, &vs, &cands, tau)?;
+        }
+    }
+
+    #[test]
+    fn matrix_many_kernels_identical_across_thread_counts(
+        seed in 0u64..1_000,
+        tau in 0.0f64..2.0,
+    ) {
+        let n = 48;
+        let e = EuclideanSpace::new(datasets::uniform_cube(n, 3, seed));
+        let m = MatrixSpace::from_fn(n, |i, j| e.dist(PointId(i as u32), PointId(j as u32)))
+            .expect("euclidean distances form a metric");
+        let vs = big_candidates(n as u32, 96);
+        let cands = big_candidates(n as u32, 128);
+        check_many_kernels(&m, &vs, &cands, tau)?;
+    }
+
+    #[test]
+    fn memoized_many_kernels_identical_across_thread_counts(
+        seed in 0u64..1_000,
+        tau in 0.0f64..2.0,
+    ) {
+        let n = 64u32;
+        let space = EuclideanSpace::new(datasets::uniform_cube(n as usize, 3, seed));
+        // Duplicate queries in the batch: the batched miss fill must
+        // collapse them onto one computation (counted as hits) exactly
+        // like the sequential per-query loop would.
+        let mut vs = big_candidates(n, 48);
+        vs.extend_from_slice(&vs.clone()[..16]);
+        let cands = big_candidates(n, PAR_MIN_BULK / 32 + 7);
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let memo = MemoizedSpace::new(&space);
+                let counts = memo.count_within_many(&vs, &cands, tau);
+                let neighbors = memo.neighbors_within_many(&vs, &cands, tau);
+                (counts, neighbors, memo.hits(), memo.misses())
+            })
+        };
+        let baseline = run(1);
+        for &t in &THREAD_COUNTS[1..] {
+            let got = run(t);
+            prop_assert_eq!(&got, &baseline, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn set_distances_identical_across_thread_counts(
+        seed in 0u64..1_000,
+    ) {
+        let n = 96u32;
+        let space = EuclideanSpace::new(datasets::uniform_cube(n as usize, 3, seed));
+        let xs: Vec<PointId> = big_candidates(n, 192).into_iter().map(PointId).collect();
+        let ys: Vec<PointId> = big_candidates(n, 96).into_iter().map(PointId).collect();
+        let baseline = with_threads(1, || dist_set_to_set(&space, &xs, &ys).to_bits());
+        for &t in &THREAD_COUNTS[1..] {
+            prop_assert_eq!(
+                with_threads(t, || dist_set_to_set(&space, &xs, &ys).to_bits()),
+                baseline,
+                "threads={}",
+                t
+            );
         }
     }
 
@@ -233,7 +323,7 @@ fn full_kcenter_ladder_identical_across_thread_counts() {
                 got.telemetry.rounds, base.telemetry.rounds,
                 "{ctx}: telemetry rounds"
             );
-            assert_ledgers_identical(&base_ledger, &ledger, &ctx);
+            base_ledger.assert_identical(&ledger, &ctx);
         }
     }
 }

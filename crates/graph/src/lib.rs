@@ -74,6 +74,25 @@ pub trait GraphView: Sync {
                 .collect()
         }
     }
+
+    /// Bulk counterpart of [`GraphView::neighbors_among`]: the neighbor
+    /// list of every vertex in `vs` within `candidates`, in order. The
+    /// `trim` primitive of Algorithm 4 scans every sampled vertex against
+    /// the same sample; batching the whole grid lets implicit graphs route
+    /// it through one multi-query metric kernel. Same parallel/determinism
+    /// contract as [`GraphView::degrees_among`].
+    fn neighbors_among_many(&self, vs: &[u32], candidates: &[u32]) -> Vec<Vec<u32>> {
+        if mpc_metric::par_bulk_pairs(vs.len(), candidates.len()) {
+            use rayon::prelude::*;
+            vs.par_iter()
+                .map(|&v| self.neighbors_among(v, candidates))
+                .collect()
+        } else {
+            vs.iter()
+                .map(|&v| self.neighbors_among(v, candidates))
+                .collect()
+        }
+    }
 }
 
 impl<G: GraphView + ?Sized> GraphView for &G {
@@ -91,5 +110,8 @@ impl<G: GraphView + ?Sized> GraphView for &G {
     }
     fn degrees_among(&self, vs: &[u32], candidates: &[u32]) -> Vec<usize> {
         (**self).degrees_among(vs, candidates)
+    }
+    fn neighbors_among_many(&self, vs: &[u32], candidates: &[u32]) -> Vec<Vec<u32>> {
+        (**self).neighbors_among_many(vs, candidates)
     }
 }

@@ -121,13 +121,15 @@ pub enum TieBreak {
 /// for vertices outside `sample` are ignored. The result is always an
 /// independent set within `sample` (see `verify` tests).
 pub fn trim<G: GraphView>(view: &G, sample: &[u32], weights: &[f64], tie: TieBreak) -> Vec<u32> {
+    // One multi-query kernel call materializes every N(v) ∩ S row of the
+    // sample-vs-sample grid; weights are then compared only against actual
+    // neighbors.
+    let neighborhoods = view.neighbors_among_many(sample, sample);
     sample
         .iter()
-        .copied()
-        .filter(|&v| {
-            // Batched: materialize N(v) ∩ S with one kernel call, then
-            // compare weights only against actual neighbors.
-            view.neighbors_among(v, sample).into_iter().all(|u| {
+        .zip(neighborhoods)
+        .filter(|&(&v, ref neighbors)| {
+            neighbors.iter().all(|&u| {
                 let (pv, pu) = (weights[v as usize], weights[u as usize]);
                 match tie {
                     TieBreak::Strict => pv > pu,
@@ -135,6 +137,7 @@ pub fn trim<G: GraphView>(view: &G, sample: &[u32], weights: &[f64], tie: TieBre
                 }
             })
         })
+        .map(|(&v, _)| v)
         .collect()
 }
 

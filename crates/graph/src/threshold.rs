@@ -1,5 +1,7 @@
 //! Implicit threshold graphs `G_τ` over a metric space.
 
+use std::collections::HashMap;
+
 use mpc_metric::{MetricSpace, PointId};
 
 use crate::GraphView;
@@ -80,24 +82,32 @@ impl<M: MetricSpace> GraphView for ThresholdGraph<M> {
         out
     }
 
-    /// One metric kernel invocation per vertex; candidate ids are scanned
-    /// with the flat-storage kernels of coordinate-backed spaces. Large
-    /// `vs × candidates` grids fan the per-vertex kernels out across the
-    /// worker pool (nested kernel-level parallelism inside each call is
-    /// fine — the pool is deadlock-free under nesting); the
-    /// order-preserving collect keeps the output identical to the
-    /// sequential loop.
+    /// One multi-query metric kernel call for the whole grid
+    /// ([`MetricSpace::count_within_many`] — tiled on coordinate-backed
+    /// spaces, memo-served on `MemoizedSpace`), then a self-pair fixup:
+    /// τ ≥ 0 means every occurrence of a query vertex in `candidates` was
+    /// counted within threshold, but the graph is irreflexive. Candidate
+    /// multiplicities are tallied once for the batch (restricted to ids
+    /// that actually occur in `vs`), replacing the per-query self scan.
     fn degrees_among(&self, vs: &[u32], candidates: &[u32]) -> Vec<usize> {
-        if mpc_metric::par_bulk_pairs(vs.len(), candidates.len()) {
-            use rayon::prelude::*;
-            vs.par_iter()
-                .map(|&v| self.degree_among(v, candidates))
-                .collect()
-        } else {
-            vs.iter()
-                .map(|&v| self.degree_among(v, candidates))
-                .collect()
+        let within = self.metric.count_within_many(vs, candidates, self.tau);
+        let mut selfs: HashMap<u32, usize> = vs.iter().map(|&v| (v, 0)).collect();
+        for &c in candidates {
+            if let Some(count) = selfs.get_mut(&c) {
+                *count += 1;
+            }
         }
+        vs.iter().zip(within).map(|(&v, w)| w - selfs[&v]).collect()
+    }
+
+    /// Batched via [`MetricSpace::neighbors_within_many`], dropping
+    /// self-pairs per row.
+    fn neighbors_among_many(&self, vs: &[u32], candidates: &[u32]) -> Vec<Vec<u32>> {
+        let mut rows = self.metric.neighbors_within_many(vs, candidates, self.tau);
+        for (row, &v) in rows.iter_mut().zip(vs) {
+            row.retain(|&c| c != v);
+        }
+        rows
     }
 }
 

@@ -76,6 +76,35 @@ impl<M: MetricSpace> MetricSpace for CountingSpace<M> {
             .fetch_add(candidates.len() as u64, Ordering::Relaxed);
         self.inner.neighbors_within(v, candidates, tau, out)
     }
+
+    /// Forwards the whole grid to the inner multi-query kernel, charging
+    /// `|vs| × |candidates|` oracle calls — what the per-query loop would
+    /// charge — so tiling stays invisible to evaluation counts.
+    fn count_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<usize> {
+        self.calls
+            .fetch_add((vs.len() * candidates.len()) as u64, Ordering::Relaxed);
+        self.inner.count_within_many(vs, candidates, tau)
+    }
+
+    /// See [`CountingSpace::count_within_many`] on this impl.
+    fn neighbors_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<Vec<u32>> {
+        self.calls
+            .fetch_add((vs.len() * candidates.len()) as u64, Ordering::Relaxed);
+        self.inner.neighbors_within_many(vs, candidates, tau)
+    }
+
+    /// One oracle call per filled entry.
+    fn dists_into(&self, v: PointId, candidates: &[u32], out: &mut Vec<f64>) {
+        self.calls
+            .fetch_add(candidates.len() as u64, Ordering::Relaxed);
+        self.inner.dists_into(v, candidates, out)
+    }
+
+    /// One oracle call per set element.
+    fn dist_to_set(&self, p: PointId, set: &[PointId]) -> f64 {
+        self.calls.fetch_add(set.len() as u64, Ordering::Relaxed);
+        self.inner.dist_to_set(p, set)
+    }
 }
 
 #[cfg(test)]

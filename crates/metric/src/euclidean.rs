@@ -3,16 +3,117 @@
 use crate::point::{PointId, PointSet};
 use crate::space::{self, MetricSpace};
 
+/// Target footprint of one candidate tile in the multi-query kernels:
+/// small enough to live in L1 alongside the query row and norm slices, so
+/// each candidate row is streamed from DRAM once per tile and then reused
+/// from cache across every query in the batch.
+const TILE_BYTES: usize = 16 * 1024;
+
+/// Candidate-tile length for `dim`-dimensional rows: [`TILE_BYTES`] worth
+/// of coordinates, floored so tiny tiles don't drown in loop overhead. A
+/// function of the dimension only — never of thread count or batch size —
+/// so tiling can't perturb determinism (and per-pair arithmetic is
+/// independent of tile boundaries anyway).
+fn tile_len(dim: usize) -> usize {
+    (TILE_BYTES / (8 * dim.max(1))).clamp(16, 4096)
+}
+
+/// Minimum dimension for the Gram-estimate pair decision in the tiled
+/// kernels. The estimate costs a fixed ~10 extra ops per pair (norm adds,
+/// band, two compares) on top of the dot product; that amortizes over the
+/// `dim` multiply-adds it saves only for wide rows. Below this, the tiled
+/// scan keeps the plain diff evaluation — measured at d=4 the diff loop is
+/// already ≈3× faster per pair than Gram + band (see DESIGN.md §6.2).
+const GRAM_MIN_DIM: usize = 16;
+
+/// Runtime-detected AVX2+FMA dot product for the Gram **estimate** only.
+///
+/// rustc's default `x86-64` baseline is SSE2 (two f64 lanes), which leaves
+/// most of a modern core idle in the dot-product inner loop. This kernel
+/// uses 256-bit FMA when the host supports it — roughly 4× the multiply-add
+/// throughput. FMA and the wider accumulator split round differently than
+/// the scalar fold, which is safe *here only*: the result feeds the banded
+/// Gram estimate, whose error band already covers accumulation-order slack
+/// (FMA's fused rounding is strictly tighter than mul-then-add), and every
+/// pair inside the band is re-decided with the exact scalar
+/// `row_dist_sq`. Decisions therefore stay bit-identical to the scalar
+/// kernel on every host, SIMD or not. Exact distance-returning paths never
+/// call this.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::sync::OnceLock;
+
+    /// One-time cpuid probe; a cached bool thereafter (function of the
+    /// host, never of thread count or input — determinism is untouched).
+    #[inline]
+    pub fn avx_available() -> bool {
+        static AVX: OnceLock<bool> = OnceLock::new();
+        *AVX.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+
+    /// # Safety
+    /// Caller must ensure the host supports AVX2 and FMA
+    /// ([`avx_available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_avx2_fma(a: &[f64], b: &[f64]) -> f64 {
+        use std::arch::x86_64::*;
+        let n = a.len();
+        debug_assert_eq!(n, b.len());
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            let a0 = _mm256_loadu_pd(a.as_ptr().add(i));
+            let b0 = _mm256_loadu_pd(b.as_ptr().add(i));
+            acc0 = _mm256_fmadd_pd(a0, b0, acc0);
+            let a1 = _mm256_loadu_pd(a.as_ptr().add(i + 4));
+            let b1 = _mm256_loadu_pd(b.as_ptr().add(i + 4));
+            acc1 = _mm256_fmadd_pd(a1, b1, acc1);
+            i += 8;
+        }
+        if i + 4 <= n {
+            let a0 = _mm256_loadu_pd(a.as_ptr().add(i));
+            let b0 = _mm256_loadu_pd(b.as_ptr().add(i));
+            acc0 = _mm256_fmadd_pd(a0, b0, acc0);
+            i += 4;
+        }
+        let acc = _mm256_add_pd(acc0, acc1);
+        let lo = _mm256_castpd256_pd128(acc);
+        let hi = _mm256_extractf128_pd(acc, 1);
+        let pair = _mm_add_pd(lo, hi);
+        let one = _mm_add_sd(pair, _mm_unpackhi_pd(pair, pair));
+        let mut dot = _mm_cvtsd_f64(one);
+        while i < n {
+            dot += a.get_unchecked(i) * b.get_unchecked(i);
+            i += 1;
+        }
+        dot
+    }
+}
+
 /// The Euclidean metric `d(x, y) = ||x - y||_2` over a [`PointSet`].
 #[derive(Debug, Clone)]
 pub struct EuclideanSpace {
     points: PointSet,
+    /// `sq_norms[i] = ||x_i||²`, cached at construction for the Gram-trick
+    /// multi-query kernels (`||u − v||² = ||u||² + ||v||² − 2⟨u, v⟩`).
+    sq_norms: Vec<f64>,
 }
 
 impl EuclideanSpace {
-    /// Wraps a point set with the L2 metric.
+    /// Wraps a point set with the L2 metric, caching per-point squared
+    /// norms (one pass over the coordinates).
     pub fn new(points: PointSet) -> Self {
-        Self { points }
+        let dim = points.dim();
+        let sq_norms = points
+            .raw()
+            .chunks(dim.max(1))
+            .map(|row| row.iter().map(|x| x * x).sum())
+            .collect();
+        Self { points, sq_norms }
     }
 
     /// The underlying point set.
@@ -33,6 +134,113 @@ impl EuclideanSpace {
             acc += t * t;
         }
         acc
+    }
+
+    /// Exact squared distance between two raw rows — the same
+    /// floating-point evaluation as [`EuclideanSpace::dist_sq`], used by
+    /// the tiled kernels to resolve pairs the Gram estimate can't classify.
+    #[inline]
+    fn row_dist_sq(a: &[f64], b: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            let t = x - y;
+            acc += t * t;
+        }
+        acc
+    }
+
+    /// Dot product with four independent accumulators. A single-accumulator
+    /// loop is a serial FP add chain the compiler must not reorder (adds
+    /// aren't associative), capping it at one add per cycle; splitting the
+    /// chain four ways lets it vectorize. The summation order differs from
+    /// a sequential fold, which is fine *here only*: the result feeds the
+    /// Gram **estimate**, whose error band already covers any
+    /// accumulation-order slack, never a returned distance. The order is a
+    /// fixed function of the slice, so determinism is untouched.
+    #[inline]
+    fn row_dot(a: &[f64], b: &[f64]) -> f64 {
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx_available() {
+            // SAFETY: gated on runtime AVX2+FMA detection.
+            return unsafe { simd::dot_avx2_fma(a, b) };
+        }
+        let split = a.len() & !3;
+        let mut acc = [0.0f64; 4];
+        for (ca, cb) in a[..split].chunks_exact(4).zip(b[..split].chunks_exact(4)) {
+            acc[0] += ca[0] * cb[0];
+            acc[1] += ca[1] * cb[1];
+            acc[2] += ca[2] * cb[2];
+            acc[3] += ca[3] * cb[3];
+        }
+        let mut dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for (x, y) in a[split..].iter().zip(&b[split..]) {
+            dot += x * y;
+        }
+        dot
+    }
+
+    /// Tiled multi-query threshold scan: for each query in `qs`, decides
+    /// every candidate against `t2 = τ²` and folds the per-candidate
+    /// verdicts with `emit`. Candidates stream in [`tile_len`]-row tiles so
+    /// a tile is loaded from memory once and reused from cache by all
+    /// queries (the whole point — the one-query kernels are memory-bound
+    /// at d=32, see DESIGN.md §6.2).
+    ///
+    /// Per pair, the Gram identity `||u−v||² = ||u||² + ||v||² − 2⟨u,v⟩`
+    /// gives an estimate `g` of the squared distance from cached norms and
+    /// a dot product. `g` rounds differently than the diff-based
+    /// `dist_sq`, so it is only trusted outside a conservative error band
+    /// around `t2`; pairs inside the band are re-decided with the exact
+    /// [`EuclideanSpace::row_dist_sq`]. Decisions therefore match the
+    /// scalar kernel bit-for-bit — including at exact-boundary thresholds
+    /// — while the band (≈ ulp-scale, so re-computes are vanishingly rare
+    /// on real data) keeps the fast path hot. Non-finite inputs fall into
+    /// the band's "unclassified" branch and get the exact answer too.
+    fn scan_tiles<R: Default>(
+        &self,
+        qs: &[u32],
+        candidates: &[u32],
+        t2: f64,
+        mut emit: impl FnMut(&mut R, u32, bool),
+    ) -> Vec<R> {
+        let dim = self.points.dim();
+        let data = self.points.raw();
+        let norms = &self.sq_norms;
+        // |g − dist_sq| for same-pair inputs is bounded by the usual
+        // γ-style accumulation-error analysis at ≈ (4d + 32)·ε·(‖u‖² +
+        // ‖v‖² + τ²); anything closer to t2 than that is re-computed
+        // exactly, so overshooting the constant only costs speed.
+        let band_scale = (4.0 * dim as f64 + 32.0) * f64::EPSILON;
+        let gram = dim >= GRAM_MIN_DIM;
+        let mut rows: Vec<R> = std::iter::repeat_with(R::default).take(qs.len()).collect();
+        for tile in candidates.chunks(tile_len(dim)) {
+            for (row, &q) in rows.iter_mut().zip(qs) {
+                let a = &data[q as usize * dim..q as usize * dim + dim];
+                let na = norms[q as usize];
+                for &c in tile {
+                    let b = &data[c as usize * dim..c as usize * dim + dim];
+                    let keep = if gram {
+                        let nb = norms[c as usize];
+                        let g = na + nb - 2.0 * Self::row_dot(a, b);
+                        let band = band_scale * (na + nb + t2);
+                        if g <= t2 - band {
+                            true
+                        } else if g > t2 + band {
+                            false
+                        } else {
+                            Self::row_dist_sq(a, b) <= t2
+                        }
+                    } else {
+                        // Narrow rows: the diff evaluation is as cheap as
+                        // the dot product and needs no band — the tiles
+                        // still deliver the cache reuse.
+                        Self::row_dist_sq(a, b) <= t2
+                    };
+                    emit(row, c, keep);
+                }
+            }
+        }
+        rows
     }
 }
 
@@ -61,9 +269,9 @@ impl MetricSpace for EuclideanSpace {
     /// indirection or per-pair slice setup), squared-threshold comparison
     /// with no sqrt — the bulk extension of the [`EuclideanSpace::dist_sq`]
     /// trick above. The `zip` keeps the inner loop bounds-check-free so it
-    /// vectorizes. Batches past [`space::PAR_MIN_BULK`] split into fixed
-    /// candidate chunks across the worker pool; the integer chunk counts
-    /// sum to exactly the sequential count.
+    /// vectorizes. Batches whose total work passes the weighted gate split
+    /// into fixed candidate chunks across the worker pool; the integer
+    /// chunk counts sum to exactly the sequential count.
     fn count_within(&self, v: PointId, candidates: &[u32], tau: f64) -> usize {
         if tau < 0.0 {
             return 0;
@@ -77,17 +285,12 @@ impl MetricSpace for EuclideanSpace {
                 .iter()
                 .filter(|&&c| {
                     let b = &data[c as usize * dim..c as usize * dim + dim];
-                    let mut acc = 0.0;
-                    for (x, y) in a.iter().zip(b) {
-                        let t = x - y;
-                        acc += t * t;
-                    }
-                    acc <= t2
+                    Self::row_dist_sq(a, b) <= t2
                 })
                 .count()
         };
-        if space::par_bulk(candidates.len()) {
-            space::par_count_chunks(candidates, scan)
+        if space::par_bulk_weighted(candidates.len(), dim) {
+            space::par_count_chunks_weighted(candidates, dim, scan)
         } else {
             scan(candidates)
         }
@@ -108,20 +311,117 @@ impl MetricSpace for EuclideanSpace {
         let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
         let keep = |c: u32| {
             let b = &data[c as usize * dim..c as usize * dim + dim];
-            let mut acc = 0.0;
-            for (x, y) in a.iter().zip(b) {
-                let t = x - y;
-                acc += t * t;
-            }
-            acc <= t2
+            Self::row_dist_sq(a, b) <= t2
         };
-        if space::par_bulk(candidates.len()) {
-            space::par_filter_chunks(candidates, out, |chunk| {
+        if space::par_bulk_weighted(candidates.len(), dim) {
+            space::par_filter_chunks_weighted(candidates, dim, out, |chunk| {
                 chunk.iter().copied().filter(|&c| keep(c)).collect()
             });
         } else {
             out.extend(candidates.iter().copied().filter(|&c| keep(c)));
         }
+    }
+
+    /// Tiled Gram-block kernel (see [`EuclideanSpace::scan_tiles`]). Large
+    /// query batches split into fixed query chunks across the worker pool;
+    /// whole queries never straddle a chunk and rows concatenate in query
+    /// order, so the output matches the sequential tile walk — which in
+    /// turn matches the per-query scalar kernel bit-for-bit.
+    fn count_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<usize> {
+        if tau < 0.0 {
+            return vec![0; vs.len()];
+        }
+        let t2 = tau * tau;
+        let run = |qs: &[u32]| {
+            self.scan_tiles(qs, candidates, t2, |count: &mut usize, _, keep| {
+                *count += keep as usize;
+            })
+        };
+        if space::par_bulk_pairs(vs.len(), candidates.len()) {
+            space::par_query_chunks(vs, run)
+        } else {
+            run(vs)
+        }
+    }
+
+    /// Filter twin of [`MetricSpace::count_within_many`] over the same
+    /// tiled scan: tiles visit candidates in order and each query row
+    /// appends within-tile survivors in order, so every neighbor list
+    /// preserves candidate order exactly.
+    fn neighbors_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<Vec<u32>> {
+        if tau < 0.0 {
+            return vec![Vec::new(); vs.len()];
+        }
+        let t2 = tau * tau;
+        let run = |qs: &[u32]| {
+            self.scan_tiles(qs, candidates, t2, |row: &mut Vec<u32>, c, keep| {
+                if keep {
+                    row.push(c);
+                }
+            })
+        };
+        if space::par_bulk_pairs(vs.len(), candidates.len()) {
+            space::par_query_chunks(vs, run)
+        } else {
+            run(vs)
+        }
+    }
+
+    /// Bulk distance fill over flat rows. Deliberately **not** the Gram
+    /// trick: consumers of this method use the values themselves (GMM
+    /// radii, memo vectors), so each entry is the exact
+    /// `row_dist_sq(..).sqrt()` evaluation [`MetricSpace::dist`] performs —
+    /// bit-identical, just without the per-pair `PointId` indirection.
+    fn dists_into(&self, v: PointId, candidates: &[u32], out: &mut Vec<f64>) {
+        out.clear();
+        let dim = self.points.dim();
+        let data = self.points.raw();
+        let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
+        let fill = |chunk: &[u32]| -> Vec<f64> {
+            chunk
+                .iter()
+                .map(|&c| {
+                    let b = &data[c as usize * dim..c as usize * dim + dim];
+                    Self::row_dist_sq(a, b).sqrt()
+                })
+                .collect()
+        };
+        if space::par_bulk_weighted(candidates.len(), dim) {
+            use rayon::prelude::*;
+            let parts: Vec<Vec<f64>> = candidates
+                .par_chunks(space::par_chunk_size_weighted(candidates.len(), dim))
+                .map(fill)
+                .collect();
+            for part in parts {
+                out.extend(part);
+            }
+        } else {
+            out.extend(candidates.iter().map(|&c| {
+                let b = &data[c as usize * dim..c as usize * dim + dim];
+                Self::row_dist_sq(a, b).sqrt()
+            }));
+        }
+    }
+
+    /// Flat-row minimum: folds the *squared* distances and takes one final
+    /// `sqrt`. `x ↦ fl(√x)` is monotone non-decreasing, so the square root
+    /// of the minimum squared distance equals the minimum of the per-pair
+    /// square roots bit-for-bit — same result as the default per-pair fold,
+    /// with |S| − 1 fewer square roots and no `PointId` indirection.
+    fn dist_to_set(&self, p: PointId, set: &[PointId]) -> f64 {
+        if set.is_empty() {
+            return f64::INFINITY;
+        }
+        let dim = self.points.dim();
+        let data = self.points.raw();
+        let a = &data[p.idx() * dim..(p.idx() + 1) * dim];
+        set.iter()
+            .map(|s| {
+                let b = &data[s.idx() * dim..s.idx() * dim + dim];
+                Self::row_dist_sq(a, b)
+            })
+            .fold(f64::INFINITY, f64::min)
+            .sqrt()
     }
 }
 
@@ -165,5 +465,71 @@ mod tests {
     #[test]
     fn point_weight_is_dimension() {
         assert_eq!(space().point_weight(), 2);
+    }
+
+    #[test]
+    fn cached_norms_match_rows() {
+        let m = space();
+        assert_eq!(m.sq_norms, vec![0.0, 25.0, 25.0]);
+    }
+
+    #[test]
+    fn many_kernels_match_scalar_at_exact_boundaries() {
+        // d(0,1) = d(0,2) = 5 exactly: τ = 5 must include both, τ just
+        // below must not — the Gram estimate alone cannot make this call,
+        // the band fallback must.
+        let m = space();
+        let vs = [0u32, 1, 2];
+        let cands = [0u32, 1, 2, 1];
+        for tau in [5.0, 4.999_999_999_999_999, 0.0, 10.0] {
+            let want: Vec<usize> = vs
+                .iter()
+                .map(|&v| m.count_within(PointId(v), &cands, tau))
+                .collect();
+            assert_eq!(m.count_within_many(&vs, &cands, tau), want, "tau={tau}");
+            let lists = m.neighbors_within_many(&vs, &cands, tau);
+            for (i, &v) in vs.iter().enumerate() {
+                let mut scalar = Vec::new();
+                m.neighbors_within(PointId(v), &cands, tau, &mut scalar);
+                assert_eq!(lists[i], scalar, "v={v} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_tau_matches_scalar_kernels() {
+        let m = space();
+        assert_eq!(m.count_within_many(&[0, 1], &[0, 1, 2], -1.0), vec![0, 0]);
+        assert_eq!(
+            m.neighbors_within_many(&[0, 1], &[0, 1, 2], -1.0),
+            vec![Vec::<u32>::new(), Vec::new()]
+        );
+    }
+
+    #[test]
+    fn dists_into_is_bitwise_dist() {
+        let m = space();
+        let cands = [2u32, 0, 1, 1];
+        let mut out = Vec::new();
+        m.dists_into(PointId(1), &cands, &mut out);
+        let want: Vec<f64> = cands
+            .iter()
+            .map(|&c| m.dist(PointId(1), PointId(c)))
+            .collect();
+        assert_eq!(
+            out.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|d| d.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dist_to_set_matches_per_pair_fold() {
+        let m = space();
+        let set = [PointId(1), PointId(2)];
+        let want = m
+            .dist(PointId(0), PointId(1))
+            .min(m.dist(PointId(0), PointId(2)));
+        assert_eq!(m.dist_to_set(PointId(0), &set).to_bits(), want.to_bits());
+        assert_eq!(m.dist_to_set(PointId(0), &[]), f64::INFINITY);
     }
 }

@@ -45,5 +45,7 @@ pub use minkowski::{ChebyshevSpace, ManhattanSpace};
 pub use point::{PointId, PointSet};
 pub use space::{
     dist_point_to_set, dist_set_to_set, min_pairwise_distance, par_bulk, par_bulk_pairs,
-    par_chunk_size, par_count_chunks, par_filter_chunks, MetricSpace, PAR_MIN_BULK,
+    par_bulk_weighted, par_chunk_size, par_chunk_size_weighted, par_count_chunks,
+    par_count_chunks_weighted, par_filter_chunks, par_filter_chunks_weighted, par_query_chunks,
+    MetricSpace, PAR_MIN_BULK,
 };

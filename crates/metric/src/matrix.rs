@@ -160,6 +160,69 @@ impl MetricSpace for MatrixSpace {
             );
         }
     }
+
+    /// Row-sliced multi-query kernel: each query borrows its matrix row
+    /// once and scans candidates against it, skipping the per-call row
+    /// offset and `par_bulk` gating the single-query kernel would redo per
+    /// query. Large query batches fan fixed query chunks across the worker
+    /// pool; rows concatenate in query order.
+    fn count_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<usize> {
+        let run = |qs: &[u32]| -> Vec<usize> {
+            qs.iter()
+                .map(|&v| {
+                    let row = &self.d[v as usize * self.n..(v as usize + 1) * self.n];
+                    candidates
+                        .iter()
+                        .filter(|&&c| row[c as usize] <= tau)
+                        .count()
+                })
+                .collect()
+        };
+        if space::par_bulk_pairs(vs.len(), candidates.len()) {
+            space::par_query_chunks(vs, run)
+        } else {
+            run(vs)
+        }
+    }
+
+    /// Filter twin of [`MetricSpace::count_within_many`] over the same row
+    /// slices; candidate order is preserved per query.
+    fn neighbors_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<Vec<u32>> {
+        let run = |qs: &[u32]| -> Vec<Vec<u32>> {
+            qs.iter()
+                .map(|&v| {
+                    let row = &self.d[v as usize * self.n..(v as usize + 1) * self.n];
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|&c| row[c as usize] <= tau)
+                        .collect()
+                })
+                .collect()
+        };
+        if space::par_bulk_pairs(vs.len(), candidates.len()) {
+            space::par_query_chunks(vs, run)
+        } else {
+            run(vs)
+        }
+    }
+
+    /// Bulk distance fill: one row borrow, then a gather — each entry is
+    /// the exact matrix lookup [`MetricSpace::dist`] performs.
+    fn dists_into(&self, v: PointId, candidates: &[u32], out: &mut Vec<f64>) {
+        out.clear();
+        let row = &self.d[v.idx() * self.n..(v.idx() + 1) * self.n];
+        out.extend(candidates.iter().map(|&c| row[c as usize]));
+    }
+
+    /// Row-sliced minimum over the set: same values as the per-pair fold,
+    /// without recomputing the row offset per element.
+    fn dist_to_set(&self, p: PointId, set: &[PointId]) -> f64 {
+        let row = &self.d[p.idx() * self.n..(p.idx() + 1) * self.n];
+        set.iter()
+            .map(|s| row[s.idx()])
+            .fold(f64::INFINITY, f64::min)
+    }
 }
 
 #[cfg(test)]

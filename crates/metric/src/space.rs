@@ -25,6 +25,28 @@ pub fn par_bulk_pairs(rows: usize, cols: usize) -> bool {
     rows >= 2 && rows.saturating_mul(cols) >= PAR_MIN_BULK && rayon::current_num_threads() > 1
 }
 
+/// Work-weighted variant of [`par_bulk`]: gates on `items × words_per_item`
+/// instead of the bare item count. [`PAR_MIN_BULK`] was calibrated for
+/// ~1-word items (a matrix-row lookup); a d-dimensional Euclidean candidate
+/// costs d multiply-adds, so a d=32 batch amortizes the pool's op overhead
+/// 32× sooner. Gating on the raw count left exactly that on the table —
+/// the d=32 batched≈scalar parity recorded in `BENCH_kernels.json`
+/// (see DESIGN.md §6.2).
+pub fn par_bulk_weighted(n_items: usize, words_per_item: usize) -> bool {
+    n_items.saturating_mul(words_per_item.max(1)) >= PAR_MIN_BULK
+        && rayon::current_num_threads() > 1
+}
+
+/// Work-weighted variant of [`par_chunk_size`]: the floor that keeps tail
+/// chunks worth claiming shrinks with the per-item cost, so high-d rows
+/// split into more (still fixed-count) chunks. Like [`par_chunk_size`],
+/// a function of the item count and the per-item weight **only** — never
+/// of the thread count — preserving the determinism contract.
+pub fn par_chunk_size_weighted(n_items: usize, words_per_item: usize) -> usize {
+    let floor = (1024 / words_per_item.max(1)).max(16);
+    n_items.div_ceil(rayon::pool::MAX_CHUNKS).max(floor)
+}
+
 /// Chunk size the parallel kernels split candidate batches into: an even
 /// split over the pool's fixed [`rayon::pool::MAX_CHUNKS`], floored at
 /// 1024 items so the tail chunks stay worth claiming. A function of the
@@ -49,6 +71,19 @@ pub fn par_count_chunks(
         .sum()
 }
 
+/// [`par_count_chunks`] with the work-weighted split of
+/// [`par_chunk_size_weighted`]; callers gate on [`par_bulk_weighted`].
+pub fn par_count_chunks_weighted(
+    candidates: &[u32],
+    words_per_item: usize,
+    chunk_kernel: impl Fn(&[u32]) -> usize + Sync,
+) -> usize {
+    candidates
+        .par_chunks(par_chunk_size_weighted(candidates.len(), words_per_item))
+        .map(chunk_kernel)
+        .sum()
+}
+
 /// Filter twin of [`par_count_chunks`]: runs `chunk_kernel` over fixed
 /// chunks and concatenates the surviving ids in chunk order, preserving
 /// candidate order exactly as the sequential filter would.
@@ -64,6 +99,39 @@ pub fn par_filter_chunks(
     for part in parts {
         out.extend(part);
     }
+}
+
+/// [`par_filter_chunks`] with the work-weighted split of
+/// [`par_chunk_size_weighted`]; callers gate on [`par_bulk_weighted`].
+pub fn par_filter_chunks_weighted(
+    candidates: &[u32],
+    words_per_item: usize,
+    out: &mut Vec<u32>,
+    chunk_kernel: impl Fn(&[u32]) -> Vec<u32> + Sync,
+) {
+    let parts: Vec<Vec<u32>> = candidates
+        .par_chunks(par_chunk_size_weighted(candidates.len(), words_per_item))
+        .map(chunk_kernel)
+        .collect();
+    for part in parts {
+        out.extend(part);
+    }
+}
+
+/// Multi-query twin of [`par_count_chunks`] and friends: runs
+/// `chunk_kernel` over fixed-size chunks of the *query* list `vs` and
+/// concatenates the per-chunk answer rows in chunk order. The chunk split
+/// is a function of the query count and per-item weight only, and whole
+/// queries never straddle a chunk, so the concatenation is identical to
+/// the sequential loop at every thread count. Callers gate on
+/// [`par_bulk_pairs`] (or its weighted analogue) first.
+pub fn par_query_chunks<T: Send>(
+    vs: &[u32],
+    chunk_kernel: impl Fn(&[u32]) -> Vec<T> + Sync,
+) -> Vec<T> {
+    let chunk = vs.len().div_ceil(rayon::pool::MAX_CHUNKS).max(1);
+    let parts: Vec<Vec<T>> = vs.par_chunks(chunk).map(chunk_kernel).collect();
+    parts.into_iter().flatten().collect()
 }
 
 /// A finite metric space with an O(1) distance oracle, mirroring the paper's
@@ -129,6 +197,91 @@ pub trait MetricSpace: Sync {
                 .filter(|&c| self.within(v, PointId(c), tau)),
         );
     }
+
+    /// Multi-query threshold count: `result[i]` is how many of `candidates`
+    /// are within `tau` of `vs[i]` — exactly
+    /// [`MetricSpace::count_within`]`(vs[i], candidates, tau)`, query by
+    /// query. The hot loops of Algorithms 3–5 evaluate *many* queries
+    /// against one shared candidate set; this entry point hands the whole
+    /// batch to the space at once so coordinate-backed implementations can
+    /// tile candidates through cache across queries (see `EuclideanSpace`)
+    /// instead of re-streaming the buffer per query.
+    ///
+    /// The default is the per-query loop, fanned out over fixed query
+    /// chunks on the worker pool for large grids; chunk splits depend on
+    /// counts only and rows concatenate in query order, so the output is
+    /// identical at every thread count.
+    fn count_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<usize> {
+        let run = |qs: &[u32]| -> Vec<usize> {
+            qs.iter()
+                .map(|&v| self.count_within(PointId(v), candidates, tau))
+                .collect()
+        };
+        if par_bulk_pairs(vs.len(), candidates.len()) {
+            par_query_chunks(vs, run)
+        } else {
+            run(vs)
+        }
+    }
+
+    /// Multi-query threshold filter: `result[i]` is the ordered neighbor
+    /// list [`MetricSpace::neighbors_within`] would produce for `vs[i]`.
+    /// Same batching rationale and determinism contract as
+    /// [`MetricSpace::count_within_many`].
+    fn neighbors_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<Vec<u32>> {
+        let run = |qs: &[u32]| -> Vec<Vec<u32>> {
+            let mut out = Vec::new();
+            qs.iter()
+                .map(|&v| {
+                    self.neighbors_within(PointId(v), candidates, tau, &mut out);
+                    out.clone()
+                })
+                .collect()
+        };
+        if par_bulk_pairs(vs.len(), candidates.len()) {
+            par_query_chunks(vs, run)
+        } else {
+            run(vs)
+        }
+    }
+
+    /// Bulk distance fill: clears `out` and appends `dist(v, c)` for every
+    /// candidate `c`, in candidate order, **bit-identical** to the per-pair
+    /// [`MetricSpace::dist`] loop. Distance-*returning* consumers (GMM's
+    /// relaxation, the ladder memo's miss fills, set-distance helpers) ride
+    /// this instead of the threshold kernels: they need the actual values,
+    /// so implementations must use the same floating-point evaluation as
+    /// `dist` — not an algebraic rearrangement (see DESIGN.md §6.2).
+    ///
+    /// The default fills per pair, fanning fixed candidate chunks across
+    /// the worker pool past the [`par_bulk`] gate; chunks concatenate in
+    /// order, so the filled vector is identical at every thread count.
+    fn dists_into(&self, v: PointId, candidates: &[u32], out: &mut Vec<f64>) {
+        out.clear();
+        if par_bulk(candidates.len()) {
+            let parts: Vec<Vec<f64>> = candidates
+                .par_chunks(par_chunk_size(candidates.len()))
+                .map(|chunk| chunk.iter().map(|&c| self.dist(v, PointId(c))).collect())
+                .collect();
+            for part in parts {
+                out.extend(part);
+            }
+        } else {
+            out.extend(candidates.iter().map(|&c| self.dist(v, PointId(c))));
+        }
+    }
+
+    /// `d(p, S) = min_{s in S} d(p, s)`; `f64::INFINITY` when `S` is empty.
+    /// The bulk entry point behind [`dist_point_to_set`]: coordinate-backed
+    /// spaces override it to scan flat storage without per-pair `PointId`
+    /// indirection (and, for L2, to defer the `sqrt` to the winning
+    /// minimum — a monotone map, so the result is bit-identical to the
+    /// per-pair fold).
+    fn dist_to_set(&self, p: PointId, set: &[PointId]) -> f64 {
+        set.iter()
+            .map(|&s| self.dist(p, s))
+            .fold(f64::INFINITY, f64::min)
+    }
 }
 
 impl<M: MetricSpace + ?Sized> MetricSpace for &M {
@@ -150,22 +303,51 @@ impl<M: MetricSpace + ?Sized> MetricSpace for &M {
     fn neighbors_within(&self, v: PointId, candidates: &[u32], tau: f64, out: &mut Vec<u32>) {
         (**self).neighbors_within(v, candidates, tau, out)
     }
+    fn count_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<usize> {
+        (**self).count_within_many(vs, candidates, tau)
+    }
+    fn neighbors_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<Vec<u32>> {
+        (**self).neighbors_within_many(vs, candidates, tau)
+    }
+    fn dists_into(&self, v: PointId, candidates: &[u32], out: &mut Vec<f64>) {
+        (**self).dists_into(v, candidates, out)
+    }
+    fn dist_to_set(&self, p: PointId, set: &[PointId]) -> f64 {
+        (**self).dist_to_set(p, set)
+    }
 }
 
 /// `d(p, S) = min_{s in S} d(p, s)`; `f64::INFINITY` when `S` is empty.
+/// Routed through [`MetricSpace::dist_to_set`] so coordinate-backed spaces
+/// apply their bulk specializations.
 pub fn dist_point_to_set<M: MetricSpace + ?Sized>(metric: &M, p: PointId, set: &[PointId]) -> f64 {
-    set.iter()
-        .map(|&s| metric.dist(p, s))
-        .fold(f64::INFINITY, f64::min)
+    metric.dist_to_set(p, set)
 }
 
 /// `r(X, Y) = max_{x in X} d(x, Y)` — the covering radius of `X` by `Y`
 /// (paper §6.1). Returns 0 for empty `X` and `f64::INFINITY` for empty `Y`
-/// with non-empty `X`.
+/// with non-empty `X`. Each `d(x, Y)` goes through the bulk
+/// [`MetricSpace::dist_to_set`] kernel; large `|X| × |Y|` grids fan fixed
+/// chunks of `X` across the worker pool, and the chunked `max` fold equals
+/// the sequential fold exactly (`f64::max` is associative on the
+/// non-negative distances involved).
 pub fn dist_set_to_set<M: MetricSpace + ?Sized>(metric: &M, xs: &[PointId], ys: &[PointId]) -> f64 {
-    xs.iter()
-        .map(|&x| dist_point_to_set(metric, x, ys))
-        .fold(0.0, f64::max)
+    if par_bulk_pairs(xs.len(), ys.len()) {
+        let chunk = xs.len().div_ceil(rayon::pool::MAX_CHUNKS).max(1);
+        xs.par_chunks(chunk)
+            .map(|part| {
+                part.iter()
+                    .map(|&x| metric.dist_to_set(x, ys))
+                    .fold(0.0, f64::max)
+            })
+            .collect::<Vec<f64>>()
+            .into_iter()
+            .fold(0.0, f64::max)
+    } else {
+        xs.iter()
+            .map(|&x| metric.dist_to_set(x, ys))
+            .fold(0.0, f64::max)
+    }
 }
 
 /// `div(S)`: minimum pairwise distance in `S` (paper §2.1).

@@ -8,8 +8,9 @@
 //! from the scalar path would silently change every algorithm built on it.
 
 use mpc_metric::{
-    AngularSpace, ChebyshevSpace, EditDistanceSpace, EuclideanSpace, GraphMetricSpace,
-    HammingSpace, JaccardSpace, ManhattanSpace, MatrixSpace, MetricSpace, PointId, PointSet,
+    AngularSpace, ChebyshevSpace, CountingSpace, EditDistanceSpace, EuclideanSpace,
+    GraphMetricSpace, HammingSpace, JaccardSpace, ManhattanSpace, MatrixSpace, MetricSpace,
+    PointId, PointSet,
 };
 use proptest::prelude::*;
 
@@ -50,7 +51,13 @@ fn probe_taus<M: MetricSpace + ?Sized>(m: &M) -> Vec<f64> {
 /// 1. `count_within == |{c : within(v, c, tau)}|` — bulk count vs scalar;
 /// 2. `neighbors_within` filters by the same predicate, preserving order;
 /// 3. the `&M` blanket impl forwards the kernels (not the loop defaults);
-/// 4. away from threshold boundaries, `within(i, j, tau) ⇔ dist(i, j) <= tau`.
+/// 4. away from threshold boundaries, `within(i, j, tau) ⇔ dist(i, j) <= tau`;
+/// 5. the multi-query kernels (`count_within_many` / `neighbors_within_many`)
+///    equal the per-query scalar kernels row for row, including at exact
+///    boundary thresholds (for `EuclideanSpace` this exercises the Gram
+///    band's exact-recompute fallback);
+/// 6. `dists_into` is bitwise `dist` per candidate, and `dist_to_set` is
+///    bitwise the min-fold of `dist` over the set (`INFINITY` on empty).
 fn check_kernels<M: MetricSpace>(m: &M) -> Result<(), TestCaseError> {
     let n = m.n() as u32;
     let all: Vec<u32> = (0..n).collect();
@@ -62,7 +69,64 @@ fn check_kernels<M: MetricSpace>(m: &M) -> Result<(), TestCaseError> {
     };
     let empty: Vec<u32> = Vec::new();
     let probes: Vec<u32> = vec![0, n / 2, n - 1];
+    // (6) — τ-independent, so checked once per candidate set.
+    for &v in &probes {
+        let v = PointId(v);
+        for cands in [&all, &evens, &with_dup, &empty] {
+            let mut bulk = Vec::new();
+            m.dists_into(v, cands, &mut bulk);
+            prop_assert_eq!(bulk.len(), cands.len());
+            for (&c, &d) in cands.iter().zip(&bulk) {
+                prop_assert_eq!(
+                    d.to_bits(),
+                    m.dist(v, PointId(c)).to_bits(),
+                    "dists_into vs dist: v={:?} c={}",
+                    v,
+                    c
+                );
+            }
+            let ids: Vec<PointId> = cands.iter().map(|&c| PointId(c)).collect();
+            let scalar_min = ids
+                .iter()
+                .map(|&c| m.dist(v, c))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(
+                m.dist_to_set(v, &ids).to_bits(),
+                scalar_min.to_bits(),
+                "dist_to_set vs min-fold: v={:?} |set|={}",
+                v,
+                ids.len()
+            );
+        }
+    }
     for tau in probe_taus(m) {
+        // (5) — the whole probe batch against every candidate set.
+        for cands in [&all, &evens, &with_dup, &empty] {
+            let scalar_counts: Vec<usize> = probes
+                .iter()
+                .map(|&v| m.count_within(PointId(v), cands, tau))
+                .collect();
+            prop_assert_eq!(
+                m.count_within_many(&probes, cands, tau),
+                scalar_counts,
+                "count_within_many vs per-query: tau={} |cands|={}",
+                tau,
+                cands.len()
+            );
+            let many = m.neighbors_within_many(&probes, cands, tau);
+            prop_assert_eq!(many.len(), probes.len());
+            for (&v, row) in probes.iter().zip(&many) {
+                let mut per = Vec::new();
+                m.neighbors_within(PointId(v), cands, tau, &mut per);
+                prop_assert_eq!(
+                    row,
+                    &per,
+                    "neighbors_within_many vs per-query: v={} tau={}",
+                    v,
+                    tau
+                );
+            }
+        }
         let exact_boundary = (0..n)
             .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
             .any(|(i, j)| m.dist(PointId(i), PointId(j)) == tau);
@@ -124,6 +188,14 @@ proptest! {
     }
 
     #[test]
+    fn euclidean_gram_kernels_match_scalar(rows in arb_rows(20, 18)) {
+        // dim ≥ GRAM_MIN_DIM: the many-kernels take the norm-cached
+        // Gram-estimate path (with the banded exact fallback) instead of
+        // the tiled diff loop — both must match the scalar oracle exactly.
+        check_kernels(&EuclideanSpace::new(PointSet::from_rows(&rows)))?;
+    }
+
+    #[test]
     fn minkowski_kernels_match_scalar(rows in arb_rows(20, 3)) {
         let ps = PointSet::from_rows(&rows);
         check_kernels(&ManhattanSpace::new(ps.clone()))?;
@@ -155,6 +227,33 @@ proptest! {
     #[test]
     fn edit_distance_kernels_match_scalar(words in prop::collection::vec("[a-d]{0,6}", 3..12)) {
         check_kernels(&EditDistanceSpace::new(&words))?;
+    }
+
+    #[test]
+    fn counting_kernels_match_scalar_and_charge(rows in arb_rows(16, 3)) {
+        let m = CountingSpace::new(EuclideanSpace::new(PointSet::from_rows(&rows)));
+        check_kernels(&m)?;
+        // The wrapper must charge exactly what the per-query loop would:
+        // |vs|·|candidates| for the grid kernels, |candidates| for a
+        // distance fill, |set| for a set distance — so batching never
+        // changes reported oracle counts.
+        let n = m.n() as u32;
+        let all: Vec<u32> = (0..n).collect();
+        let vs = vec![0u32, n - 1];
+        m.reset();
+        let _ = m.count_within_many(&vs, &all, 1.0);
+        prop_assert_eq!(m.calls(), (vs.len() * all.len()) as u64);
+        m.reset();
+        let _ = m.neighbors_within_many(&vs, &all, 1.0);
+        prop_assert_eq!(m.calls(), (vs.len() * all.len()) as u64);
+        m.reset();
+        let mut out = Vec::new();
+        m.dists_into(PointId(0), &all, &mut out);
+        prop_assert_eq!(m.calls(), all.len() as u64);
+        m.reset();
+        let ids: Vec<PointId> = all.iter().map(|&c| PointId(c)).collect();
+        let _ = m.dist_to_set(PointId(0), &ids);
+        prop_assert_eq!(m.calls(), ids.len() as u64);
     }
 
     #[test]

@@ -162,6 +162,31 @@ impl Ledger {
         self.peak_memory.iter().copied().max().unwrap_or(0)
     }
 
+    /// Panics unless `self` and `other` recorded the same execution:
+    /// equal round counts, round-by-round equal labels and per-machine
+    /// traffic, and equal peak memory. `ctx` prefixes every panic
+    /// message.
+    ///
+    /// This is the assertion behind the determinism and kernel-neutrality
+    /// suites: local compute — thread counts, batched kernels,
+    /// memoization — must never perturb the communication ledger.
+    pub fn assert_identical(&self, other: &Ledger, ctx: &str) {
+        assert_eq!(self.rounds(), other.rounds(), "{ctx}: round counts");
+        for (ra, rb) in self.rounds.iter().zip(&other.rounds) {
+            assert_eq!(ra.label, rb.label, "{ctx}: round {} label", ra.round);
+            assert_eq!(
+                ra.per_machine, rb.per_machine,
+                "{ctx}: round {} ({}) traffic",
+                ra.round, ra.label
+            );
+        }
+        assert_eq!(
+            self.max_machine_memory(),
+            other.max_machine_memory(),
+            "{ctx}: peak memory"
+        );
+    }
+
     /// Records one finished round. `per_machine.len()` must equal `m`.
     pub fn record_round(&mut self, label: &str, per_machine: Vec<MachineIo>) {
         assert_eq!(

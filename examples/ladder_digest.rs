@@ -1,0 +1,68 @@
+//! Bit-exactness probe for the Algorithm 5 ladder: prints every output
+//! field of `mpc_kcenter_on` (center ids, `f64` radii *as raw bits*) plus a
+//! digest of the full MPC ledger, for fixed configs at 1, 2, and 8 threads.
+//!
+//! Diffing this program's output across a kernel-engineering change is the
+//! acceptance check that the rewiring was value-preserving: the ladder's
+//! centers, radii, round structure, per-machine traffic, and peak memory
+//! must all be byte-for-byte identical before and after.
+//!
+//! ```text
+//! cargo run --release --example ladder_digest
+//! ```
+
+use mpc_clustering::core::kcenter::mpc_kcenter_on;
+use mpc_clustering::core::Params;
+use mpc_clustering::metric::{datasets, EuclideanSpace};
+use mpc_clustering::sim::Cluster;
+use rayon::with_threads;
+
+/// FNV-1a over a byte stream; enough to fingerprint a ledger transcript.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn main() {
+    for (n, m, k, seed) in [(900usize, 4usize, 6usize, 42u64), (600, 8, 10, 7)] {
+        let space = EuclideanSpace::new(datasets::gaussian_clusters(n, 3, k, 0.05, seed));
+        let params = Params::practical(m, 0.1, seed);
+        for threads in [1usize, 2, 8] {
+            let (res, ledger) = with_threads(threads, || {
+                let mut cluster = Cluster::new(m, seed);
+                let out = mpc_kcenter_on(&mut cluster, &space, k, &params);
+                (out, cluster.into_ledger())
+            });
+            let mut h = Fnv::new();
+            for r in ledger.records() {
+                h.eat(r.label.as_bytes());
+                for io in &r.per_machine {
+                    h.eat(&io.sent.to_le_bytes());
+                    h.eat(&io.received.to_le_bytes());
+                }
+            }
+            println!(
+                "n={n} m={m} k={k} seed={seed} t={threads} centers={:?} \
+                 radius={:016x} coarse_r={:016x} boundary={} rounds={} \
+                 words={} peak_mem={} ledger_fnv={:016x}",
+                res.centers,
+                res.radius.to_bits(),
+                res.coarse_r.to_bits(),
+                res.boundary_index,
+                ledger.rounds(),
+                ledger.total_words(),
+                ledger.max_machine_memory(),
+                h.0
+            );
+        }
+    }
+}
