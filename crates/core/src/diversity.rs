@@ -9,14 +9,18 @@
 //! because the *maximal* independent set one rung higher covers all of `V`
 //! with balls that must pin two optimal points together (pigeonhole).
 
+use std::time::Instant;
+
 use mpc_metric::{min_pairwise_distance, MetricSpace, PointId};
 use mpc_sim::Cluster;
 
 use crate::common::{gmm_coreset, to_point_ids};
 use crate::gmm::gmm;
 use crate::kbmis::k_bounded_mis;
-use crate::params::{BoundarySearch, Params};
-use crate::telemetry::Telemetry;
+use crate::ladder::{BoundaryMode, LadderSearch, RungEval};
+use crate::memo::MemoizedSpace;
+use crate::params::Params;
+use crate::telemetry::{PhaseTimes, Telemetry};
 
 /// Result of [`mpc_diversity`] / [`four_approx_diversity`].
 #[derive(Debug, Clone)]
@@ -94,6 +98,52 @@ fn new_cluster(params: &Params) -> Cluster {
     }
 }
 
+/// The diversity ladder for [`LadderSearch`]: rung `i` is the k-bounded
+/// MIS of the threshold graph at `τ_i = r(1+ε)^i`, acceptable while it
+/// still finds `k` independent points (they then have pairwise distance
+/// > τ_i).
+struct DiversityRungs<'a, M: MetricSpace + ?Sized> {
+    memo: &'a MemoizedSpace<'a, M>,
+    local_sets: &'a [Vec<u32>],
+    r: f64,
+    k: usize,
+    n: usize,
+    params: &'a Params,
+}
+
+impl<M: MetricSpace + ?Sized> DiversityRungs<'_, M> {
+    fn tau(&self, i: usize) -> f64 {
+        self.r * (1.0 + self.params.epsilon).powi(i as i32)
+    }
+}
+
+impl<M: MetricSpace + ?Sized> RungEval for DiversityRungs<'_, M> {
+    type Rung = Vec<u32>;
+
+    fn eval(&mut self, cluster: &mut Cluster, i: usize) -> Vec<u32> {
+        k_bounded_mis(
+            cluster,
+            self.memo,
+            self.local_sets,
+            self.tau(i),
+            self.k,
+            self.n,
+            self.params,
+            false,
+        )
+        .set
+    }
+
+    fn accept(&self, _i: usize, rung: &Vec<u32>) -> bool {
+        rung.len() == self.k
+    }
+
+    fn prewarm(&mut self, reachable: &[usize]) {
+        let taus: Vec<f64> = reachable.iter().map(|&i| self.tau(i)).collect();
+        self.memo.prewarm_taus(&taus);
+    }
+}
+
 /// Algorithm 2: the `(2+ε)`-approximation MPC algorithm for k-diversity
 /// maximization (Theorem 3). Constant rounds (`O(log 1/ε)` k-bounded-MIS
 /// invocations via binary search), `Õ(mk)` communication per machine.
@@ -137,80 +187,76 @@ pub fn mpc_diversity_on<M: MetricSpace + ?Sized>(
     cluster.note_memory_all(&input_words);
 
     // Lines 1–3: coarse 4-approximation (r, Q).
+    let coarse_started = Instant::now();
     let (r, q) = coarse_estimate(cluster, metric, &local_sets, k);
+    let coarse_s = coarse_started.elapsed().as_secs_f64();
 
     // Degenerate inputs: fewer than k distinct-ish points, or all optimal
     // diversity collapsed to ~0 (r = 0 implies div_k(V) <= 4r = 0).
     if q.len() < k || r <= 0.0 || !r.is_finite() {
         let subset = to_point_ids(&q);
         let diversity = min_pairwise_distance(metric, &subset);
+        let mut telemetry = Telemetry::from_ledger(cluster.ledger());
+        telemetry.phases.coarse_s = coarse_s;
         return DiversityResult {
             subset,
             diversity,
             coarse_r: r.max(0.0),
             boundary_index: 0,
-            telemetry: Telemetry::from_ledger(cluster.ledger()),
+            telemetry,
         };
     }
 
     // Line 4: the threshold ladder τ_i = r (1+ε)^i, i = 0..=t with
     // (1+ε)^t ≥ 4(1+ε) so τ_t > 4r ≥ div_k(V).
-    let t = params.ladder_len(4.0, 1);
-    let tau = |i: usize| r * (1.0 + params.epsilon).powi(i as i32);
-
     // Lines 5–6: M_0 = Q; find j with |M_j| = k and |M_{j+1}| < k.
     // |M_t| < k is guaranteed: an independent set of k points in G_{τ_t}
     // would have diversity > τ_t > div_k(V), a contradiction — and our MIS
     // routine only reports size k for genuine independent sets.
-    let mut cache: Vec<Option<Vec<u32>>> = vec![None; t + 1];
-    cache[0] = Some(q.clone());
-    let eval = |cluster: &mut Cluster, cache: &mut Vec<Option<Vec<u32>>>, i: usize| {
-        if cache[i].is_none() {
-            let res = k_bounded_mis(cluster, metric, &local_sets, tau(i), k, n, params, false);
-            cache[i] = Some(res.set);
-        }
-        cache[i].as_ref().expect("just filled").len()
+    // Every rung re-queries the same (vertex, candidate-set) pairs with
+    // only τ changing, so the pre-warmed distance memo serves the whole
+    // search from one distance pass per pair (ledger-invisible — see
+    // [`crate::memo`]).
+    let ladder_started = Instant::now();
+    let t = params.ladder_len(4.0, 1);
+    let memo = MemoizedSpace::new(metric);
+    let mut rungs = DiversityRungs {
+        memo: &memo,
+        local_sets: &local_sets,
+        r,
+        k,
+        n,
+        params,
     };
+    let mut search = LadderSearch::new(t);
+    search.seed(0, q.clone());
+    let boundary = search.search(
+        cluster,
+        &mut rungs,
+        BoundaryMode::LastAccept,
+        params.boundary_search,
+    );
+    let ladder_s = ladder_started.elapsed().as_secs_f64();
 
-    let boundary = match params.boundary_search {
-        BoundarySearch::Binary => {
-            let mut lo = 0usize;
-            let mut hi = t;
-            if eval(cluster, &mut cache, hi) == k {
-                // Theoretically impossible (see above); treat the top rung
-                // as the answer rather than walking off the ladder.
-                hi = t;
-                lo = t;
-            }
-            while hi - lo > 1 {
-                let mid = lo + (hi - lo) / 2;
-                if eval(cluster, &mut cache, mid) == k {
-                    lo = mid;
-                } else {
-                    hi = mid;
-                }
-            }
-            lo
-        }
-        BoundarySearch::Linear => {
-            let mut j = 0usize;
-            while j < t && eval(cluster, &mut cache, j + 1) == k {
-                j += 1;
-            }
-            j
-        }
-    };
-
-    let set = cache[boundary].clone().expect("boundary was evaluated");
+    let finalize_started = Instant::now();
+    let set = search.take(boundary).expect("boundary was evaluated");
     debug_assert_eq!(set.len(), k);
     let subset = to_point_ids(&set);
     let diversity = min_pairwise_distance(metric, &subset);
+    let mut telemetry = Telemetry::from_ledger(cluster.ledger());
+    telemetry.phases = PhaseTimes {
+        coarse_s,
+        ladder_s,
+        finalize_s: finalize_started.elapsed().as_secs_f64(),
+    };
+    telemetry.ladder_evals = search.evals() as u64;
+    telemetry.ladder_probes = search.probes() as u64;
     DiversityResult {
         subset,
         diversity,
         coarse_r: r,
         boundary_index: boundary,
-        telemetry: Telemetry::from_ledger(cluster.ledger()),
+        telemetry,
     }
 }
 
@@ -234,6 +280,7 @@ pub fn sequential_gmm_diversity<M: MetricSpace + ?Sized>(metric: &M, k: usize) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::BoundarySearch;
     use mpc_metric::{datasets, EuclideanSpace, PointSet};
 
     fn unit_square_corners_plus_noise() -> EuclideanSpace {

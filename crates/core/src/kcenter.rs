@@ -9,14 +9,17 @@
 //! points appear certifies `r* ≥ τ_{j+1}/2` by pigeonhole, sandwiching the
 //! returned radius within `2(1+ε) r*`.
 
+use std::time::Instant;
+
 use mpc_metric::{MetricSpace, PointId};
 use mpc_sim::Cluster;
 
 use crate::common::{covering_radius, gmm_coreset, to_point_ids};
 use crate::kbmis::k_bounded_mis;
+use crate::ladder::{BoundaryMode, LadderSearch, RungEval};
 use crate::memo::MemoizedSpace;
-use crate::params::{BoundarySearch, Params};
-use crate::telemetry::Telemetry;
+use crate::params::Params;
+use crate::telemetry::{PhaseTimes, Telemetry};
 
 /// Result of [`mpc_kcenter`].
 #[derive(Debug, Clone)]
@@ -37,6 +40,51 @@ fn new_cluster(params: &Params) -> Cluster {
     match params.budget_words {
         Some(b) => Cluster::with_budget(params.m, params.seed, b),
         None => Cluster::new(params.m, params.seed),
+    }
+}
+
+/// The k-center ladder for [`LadderSearch`]: rung `i` is the (k+1)-bounded
+/// MIS of the threshold graph at `τ_i = r/(1+ε)^i`, acceptable while it
+/// has ≤ k vertices (it is then maximal, hence a radius-`τ_i` solution).
+struct KCenterRungs<'a, M: MetricSpace + ?Sized> {
+    memo: &'a MemoizedSpace<'a, M>,
+    local_sets: &'a [Vec<u32>],
+    r: f64,
+    k: usize,
+    n: usize,
+    params: &'a Params,
+}
+
+impl<M: MetricSpace + ?Sized> KCenterRungs<'_, M> {
+    fn tau(&self, i: usize) -> f64 {
+        self.r / (1.0 + self.params.epsilon).powi(i as i32)
+    }
+}
+
+impl<M: MetricSpace + ?Sized> RungEval for KCenterRungs<'_, M> {
+    type Rung = Vec<u32>;
+
+    fn eval(&mut self, cluster: &mut Cluster, i: usize) -> Vec<u32> {
+        k_bounded_mis(
+            cluster,
+            self.memo,
+            self.local_sets,
+            self.tau(i),
+            self.k + 1,
+            self.n,
+            self.params,
+            false,
+        )
+        .set
+    }
+
+    fn accept(&self, _i: usize, rung: &Vec<u32>) -> bool {
+        rung.len() <= self.k
+    }
+
+    fn prewarm(&mut self, reachable: &[usize]) {
+        let taus: Vec<f64> = reachable.iter().map(|&i| self.tau(i)).collect();
+        self.memo.prewarm_taus(&taus);
     }
 }
 
@@ -86,83 +134,77 @@ pub fn mpc_kcenter_on<M: MetricSpace + ?Sized>(
     cluster.note_memory_all(&input_words);
 
     // Lines 1–2: Q = GMM(∪ GMM(V_i)).
+    let coarse_started = Instant::now();
     let (q, _) = gmm_coreset(cluster, &metric, &local_sets, k);
 
     // Line 3: r = r(V, Q), a 4-approximation of the optimal radius.
     let r = covering_radius(cluster, metric, &local_sets, &q);
+    let coarse_s = coarse_started.elapsed().as_secs_f64();
 
     // Degenerate inputs: the coreset already covers everything exactly
     // (duplicates / n ≤ k), so the optimum is 0 and Q is optimal.
     if q.len() < k || r <= 0.0 {
+        let mut telemetry = Telemetry::from_ledger(cluster.ledger());
+        telemetry.phases.coarse_s = coarse_s;
         return KCenterResult {
             centers: to_point_ids(&q),
             radius: r.max(0.0),
             coarse_r: r.max(0.0),
             boundary_index: 0,
-            telemetry: Telemetry::from_ledger(cluster.ledger()),
+            telemetry,
         };
     }
 
     // Line 4: descending ladder τ_i = r/(1+ε)^i with τ_t < r/4 ≤ r*.
-    let t = params.ladder_len(4.0, 1);
-    let tau = |i: usize| r / (1.0 + params.epsilon).powi(i as i32);
-
     // Lines 5–6: M_0 = Q; find j with |M_j| ≤ k and |M_{j+1}| = k + 1.
     // |M_t| = k+1 is guaranteed: a maximal IS of size ≤ k in G_{τ_t} would
     // be a k-center solution of radius τ_t < r* — impossible — and our MIS
     // routine's sub-(k+1) outputs are genuinely maximal.
     // Every rung queries the same (vertex, candidate-set) pairs with only
-    // τ changing, so one τ-independent distance memo serves the whole
-    // search. Local compute only — the ledger is unaffected (see
-    // [`crate::memo`]).
+    // τ changing, so one τ-independent distance memo (pre-warmed with the
+    // rung schedule so re-probes are `partition_point` prefixes) serves
+    // the whole search. Local compute only — the ledger is unaffected
+    // (see [`crate::memo`]).
+    let ladder_started = Instant::now();
+    let t = params.ladder_len(4.0, 1);
     let memo = MemoizedSpace::new(metric);
-    let mut cache: Vec<Option<Vec<u32>>> = vec![None; t + 1];
-    cache[0] = Some(q.clone());
-    let eval = |cluster: &mut Cluster, cache: &mut Vec<Option<Vec<u32>>>, i: usize| {
-        if cache[i].is_none() {
-            let res = k_bounded_mis(cluster, &memo, &local_sets, tau(i), k + 1, n, params, false);
-            cache[i] = Some(res.set);
-        }
-        cache[i].as_ref().expect("just filled").len()
+    let mut rungs = KCenterRungs {
+        memo: &memo,
+        local_sets: &local_sets,
+        r,
+        k,
+        n,
+        params,
     };
+    let mut search = LadderSearch::new(t);
+    search.seed(0, q.clone());
+    let boundary = search.search(
+        cluster,
+        &mut rungs,
+        BoundaryMode::LastAccept,
+        params.boundary_search,
+    );
+    let ladder_s = ladder_started.elapsed().as_secs_f64();
 
-    let boundary = match params.boundary_search {
-        BoundarySearch::Binary => {
-            let mut lo = 0usize; // |M_lo| <= k
-            let mut hi = t; // |M_hi| = k+1
-            if eval(cluster, &mut cache, hi) <= k {
-                // Theoretically impossible; accept the bottom rung.
-                lo = t;
-            }
-            while hi - lo > 1 {
-                let mid = lo + (hi - lo) / 2;
-                if eval(cluster, &mut cache, mid) <= k {
-                    lo = mid;
-                } else {
-                    hi = mid;
-                }
-            }
-            lo
-        }
-        BoundarySearch::Linear => {
-            let mut j = 0usize;
-            while j < t && eval(cluster, &mut cache, j + 1) <= k {
-                j += 1;
-            }
-            j
-        }
-    };
-
-    let centers_raw = cache[boundary].clone().expect("boundary was evaluated");
+    let finalize_started = Instant::now();
+    let centers_raw = search.take(boundary).expect("boundary was evaluated");
     debug_assert!(centers_raw.len() <= k);
     // Line 3 analog for the final answer: realized radius (2 rounds).
     let radius = covering_radius(cluster, metric, &local_sets, &centers_raw);
+    let mut telemetry = Telemetry::from_ledger(cluster.ledger());
+    telemetry.phases = PhaseTimes {
+        coarse_s,
+        ladder_s,
+        finalize_s: finalize_started.elapsed().as_secs_f64(),
+    };
+    telemetry.ladder_evals = search.evals() as u64;
+    telemetry.ladder_probes = search.probes() as u64;
     KCenterResult {
         centers: to_point_ids(&centers_raw),
         radius,
         coarse_r: r,
         boundary_index: boundary,
-        telemetry: Telemetry::from_ledger(cluster.ledger()),
+        telemetry,
     }
 }
 
@@ -185,6 +227,7 @@ pub fn sequential_gmm_kcenter<M: MetricSpace + ?Sized>(metric: &M, k: usize) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::BoundarySearch;
     use mpc_metric::{datasets, dist_point_to_set, EuclideanSpace, PointSet};
 
     fn realized_radius<M: MetricSpace>(metric: &M, centers: &[PointId]) -> f64 {

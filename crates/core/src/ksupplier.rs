@@ -13,13 +13,17 @@
 //!    3(1+ε) r*` — each customer reaches an `M_j` point within `2τ_j` and
 //!    that point's supplier within another `τ_j`.
 
+use std::time::Instant;
+
 use mpc_metric::{MetricSpace, PointId};
 use mpc_sim::Cluster;
 
 use crate::common::{covering_radius, gmm_coreset, nearest_in_distributed_set, to_point_ids};
 use crate::kbmis::k_bounded_mis;
-use crate::params::{BoundarySearch, Params};
-use crate::telemetry::Telemetry;
+use crate::ladder::{BoundaryMode, LadderSearch, RungEval};
+use crate::memo::MemoizedSpace;
+use crate::params::Params;
+use crate::telemetry::{PhaseTimes, Telemetry};
 
 /// Result of [`mpc_ksupplier`].
 #[derive(Debug, Clone)]
@@ -53,6 +57,73 @@ fn split_ids(ids: &[u32], params: &Params, salt: u64) -> Vec<Vec<u32>> {
         .iter()
         .map(|positions| positions.iter().map(|&p| ids[p as usize]).collect())
         .collect()
+}
+
+/// The k-supplier ladder for [`LadderSearch`]: rung `i` carries the
+/// (k+1)-bounded MIS of the customer graph at `2τ_i` plus — whenever that
+/// MIS is small enough to possibly qualify — its nearest-supplier
+/// assignment. Rung `i` is acceptable when `|M_i| ≤ k` and every MIS point
+/// has a supplier within `τ_i`.
+///
+/// The assignment is computed inside `eval` (each rung is evaluated at
+/// most once, so the collective sequence equals the old lazily-memoized
+/// predicate's), leaving `accept` pure as [`RungEval`] requires. The
+/// seeded backstop rung `t` carries `None` for its assignment — the
+/// `FirstAccept` schedules never probe it, and the caller backfills the
+/// assignment if the search settles there.
+struct KSupplierRungs<'a, M: MetricSpace + ?Sized> {
+    memo: &'a MemoizedSpace<'a, M>,
+    metric: &'a M,
+    local_c: &'a [Vec<u32>],
+    local_s: &'a [Vec<u32>],
+    r: f64,
+    k: usize,
+    n: usize,
+    params: &'a Params,
+}
+
+type SupplierRung = (Vec<u32>, Option<Vec<(u32, f64)>>);
+
+impl<M: MetricSpace + ?Sized> KSupplierRungs<'_, M> {
+    fn tau(&self, i: usize) -> f64 {
+        (self.r / 9.0) * (1.0 + self.params.epsilon).powi(i as i32)
+    }
+}
+
+impl<M: MetricSpace + ?Sized> RungEval for KSupplierRungs<'_, M> {
+    type Rung = SupplierRung;
+
+    fn eval(&mut self, cluster: &mut Cluster, i: usize) -> SupplierRung {
+        let set = k_bounded_mis(
+            cluster,
+            self.memo,
+            self.local_c,
+            2.0 * self.tau(i),
+            self.k + 1,
+            self.n,
+            self.params,
+            false,
+        )
+        .set;
+        let assign = (set.len() <= self.k)
+            .then(|| nearest_in_distributed_set(cluster, self.metric, self.local_s, &set));
+        (set, assign)
+    }
+
+    fn accept(&self, i: usize, rung: &SupplierRung) -> bool {
+        match &rung.1 {
+            Some(assign) => {
+                let worst = assign.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);
+                worst <= self.tau(i)
+            }
+            None => false, // |M_i| > k: the rung can't qualify
+        }
+    }
+
+    fn prewarm(&mut self, reachable: &[usize]) {
+        let taus: Vec<f64> = reachable.iter().map(|&i| 2.0 * self.tau(i)).collect();
+        self.memo.prewarm_taus(&taus);
+    }
 }
 
 /// Algorithm 6: `(3+ε)`-approximation MPC k-supplier in any metric space
@@ -97,6 +168,7 @@ pub fn mpc_ksupplier_on<M: MetricSpace + ?Sized>(
     cluster.note_memory_all(&input_words);
 
     // Lines 1–2: customer coreset Q.
+    let coarse_started = Instant::now();
     let (q, _) = gmm_coreset(cluster, metric, &local_c, k);
 
     // Line 3: r = r(C, Q) + r(Q, S).
@@ -104,6 +176,7 @@ pub fn mpc_ksupplier_on<M: MetricSpace + ?Sized>(
     let q_nearest = nearest_in_distributed_set(cluster, metric, &local_s, &q);
     let r_qs = q_nearest.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);
     let r = r_cq + r_qs;
+    let coarse_s = coarse_started.elapsed().as_secs_f64();
 
     if r <= 0.0 {
         // Every customer sits on a supplier: pick Q's suppliers directly.
@@ -111,112 +184,76 @@ pub fn mpc_ksupplier_on<M: MetricSpace + ?Sized>(
         sel.sort_unstable();
         sel.dedup();
         sel.truncate(k);
+        let mut telemetry = Telemetry::from_ledger(cluster.ledger());
+        telemetry.phases.coarse_s = coarse_s;
         return KSupplierResult {
             suppliers: to_point_ids(&sel),
             radius: 0.0,
             coarse_r: 0.0,
             boundary_index: 0,
-            telemetry: Telemetry::from_ledger(cluster.ledger()),
+            telemetry,
         };
     }
 
     // Line 4: ascending ladder τ_i = (r/9)(1+ε)^i with τ_t ≥ r.
-    let t = params.ladder_len(9.0, 0);
-    let tau = |i: usize| (r / 9.0) * (1.0 + params.epsilon).powi(i as i32);
-
     // Lines 5–6: M_t = Q; find the smallest j with |M_j| ≤ k and
     // r(M_j, S) ≤ τ_j. Index t always qualifies: |Q| ≤ k and
-    // r(Q, S) = r_qs ≤ r ≤ τ_t.
-    let mut mis_cache: Vec<Option<Vec<u32>>> = vec![None; t + 1];
-    mis_cache[t] = Some(q.clone());
-    // P(i): |M_i| <= k and r(M_i, S) <= τ_i; memoize the supplier
-    // assignment of rungs that pass.
-    let mut assign_cache: Vec<Option<Vec<(u32, f64)>>> = vec![None; t + 1];
-    let pred = |cluster: &mut Cluster,
-                mis_cache: &mut Vec<Option<Vec<u32>>>,
-                assign_cache: &mut Vec<Option<Vec<(u32, f64)>>>,
-                i: usize|
-     -> bool {
-        if mis_cache[i].is_none() {
-            let res = k_bounded_mis(
-                cluster,
-                metric,
-                &local_c,
-                2.0 * tau(i),
-                k + 1,
-                n,
-                params,
-                false,
-            );
-            mis_cache[i] = Some(res.set);
-        }
-        let m_i = mis_cache[i].as_ref().expect("just filled").clone();
-        if m_i.len() > k {
-            return false;
-        }
-        if assign_cache[i].is_none() {
-            assign_cache[i] = Some(nearest_in_distributed_set(cluster, metric, &local_s, &m_i));
-        }
-        let worst = assign_cache[i]
-            .as_ref()
-            .expect("just filled")
-            .iter()
-            .map(|&(_, d)| d)
-            .fold(0.0f64, f64::max);
-        worst <= tau(i)
+    // r(Q, S) = r_qs ≤ r ≤ τ_t — it is seeded as the backstop and never
+    // probed by the FirstAccept schedules.
+    // Every rung re-queries the same (vertex, candidate-set) pairs with
+    // only the threshold 2τ_i changing, so the pre-warmed distance memo
+    // serves the whole search (ledger-invisible — see [`crate::memo`]).
+    let ladder_started = Instant::now();
+    let t = params.ladder_len(9.0, 0);
+    let memo = MemoizedSpace::new(metric);
+    let mut rungs = KSupplierRungs {
+        memo: &memo,
+        metric,
+        local_c: &local_c,
+        local_s: &local_s,
+        r,
+        k,
+        n,
+        params,
     };
-
-    let boundary = match params.boundary_search {
-        BoundarySearch::Binary => {
-            // Lower-bound search for the smallest passing rung, assuming
-            // the predicate is monotone in i (larger τ is easier).
-            let mut lo = 0usize;
-            let mut hi = t; // P(t) holds
-            while lo < hi {
-                let mid = lo + (hi - lo) / 2;
-                if pred(cluster, &mut mis_cache, &mut assign_cache, mid) {
-                    hi = mid;
-                } else {
-                    lo = mid + 1;
-                }
-            }
-            lo
-        }
-        BoundarySearch::Linear => {
-            let mut j = 0;
-            while j < t && !pred(cluster, &mut mis_cache, &mut assign_cache, j) {
-                j += 1;
-            }
-            j
-        }
-    };
+    let mut search = LadderSearch::new(t);
+    search.seed(t, (q.clone(), None));
+    let boundary = search.search(
+        cluster,
+        &mut rungs,
+        BoundaryMode::FirstAccept,
+        params.boundary_search,
+    );
+    let ladder_s = ladder_started.elapsed().as_secs_f64();
 
     // Line 8: the suppliers realizing r(M_j, S) ≤ τ_j.
-    if assign_cache[boundary].is_none() {
-        // Possible when binary search settled on t without evaluating it.
-        let m_b = mis_cache[boundary]
-            .as_ref()
-            .expect("boundary MIS exists")
-            .clone();
-        assign_cache[boundary] = Some(nearest_in_distributed_set(cluster, metric, &local_s, &m_b));
-    }
-    let mut sel: Vec<u32> = assign_cache[boundary]
-        .as_ref()
-        .expect("filled above")
-        .iter()
-        .map(|&(s, _)| s)
-        .collect();
+    let finalize_started = Instant::now();
+    let (m_b, assign) = search.take(boundary).expect("boundary rung exists");
+    let assign = assign.unwrap_or_else(|| {
+        // Possible when the search settled on the seeded rung t without
+        // evaluating it: its backstop payload carries no assignment.
+        nearest_in_distributed_set(cluster, metric, &local_s, &m_b)
+    });
+    let mut sel: Vec<u32> = assign.iter().map(|&(s, _)| s).collect();
     sel.sort_unstable();
     sel.dedup();
     debug_assert!(sel.len() <= k);
 
     let radius = covering_radius(cluster, metric, &local_c, &sel);
+    let mut telemetry = Telemetry::from_ledger(cluster.ledger());
+    telemetry.phases = PhaseTimes {
+        coarse_s,
+        ladder_s,
+        finalize_s: finalize_started.elapsed().as_secs_f64(),
+    };
+    telemetry.ladder_evals = search.evals() as u64;
+    telemetry.ladder_probes = search.probes() as u64;
     KSupplierResult {
         suppliers: to_point_ids(&sel),
         radius,
         coarse_r: r,
         boundary_index: boundary,
-        telemetry: Telemetry::from_ledger(cluster.ledger()),
+        telemetry,
     }
 }
 
@@ -265,6 +302,7 @@ pub fn sequential_ksupplier<M: MetricSpace + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::BoundarySearch;
     use mpc_metric::{datasets, dist_point_to_set, EuclideanSpace, PointSet};
     use rand::{RngExt, SeedableRng};
 
@@ -373,6 +411,30 @@ mod tests {
         let res = mpc_ksupplier(&metric, &customers, &suppliers, 4, &params);
         assert!(res.suppliers.len() <= 4);
         assert!(res.radius.is_finite());
+    }
+
+    /// A single far-away supplier forces every rung below `t` to reject
+    /// (`worst = D > τ_i` while `(1+ε)^i < 9`), so both schedules settle
+    /// on the seeded backstop rung `t` *without evaluating it* and the
+    /// driver must backfill its supplier assignment — the branch behind
+    /// the old "possible when binary search settled on t" comment.
+    #[test]
+    fn backfills_assignment_when_search_settles_on_seeded_top() {
+        let metric = mpc_metric::MatrixSpace::new(2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        for strategy in [BoundarySearch::Binary, BoundarySearch::Linear] {
+            let mut params = Params::practical(1, 0.1, 1);
+            params.boundary_search = strategy;
+            let t = params.ladder_len(9.0, 0);
+            let res = mpc_ksupplier(&metric, &[0], &[1], 1, &params);
+            assert_eq!(res.suppliers, vec![PointId(1)], "{strategy:?}");
+            assert_eq!(res.radius, 1.0, "{strategy:?}");
+            assert_eq!(
+                res.boundary_index, t,
+                "{strategy:?} must settle on the backstop rung"
+            );
+            assert!(res.telemetry.ladder_evals >= 1);
+            assert!(res.telemetry.ladder_probes >= res.telemetry.ladder_evals);
+        }
     }
 
     #[test]

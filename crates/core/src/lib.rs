@@ -30,10 +30,11 @@ pub mod gmm;
 pub mod kbmis;
 pub mod kcenter;
 pub mod ksupplier;
+pub mod ladder;
 pub mod memo;
 pub mod params;
 pub mod telemetry;
 pub mod verify;
 
 pub use params::{BoundarySearch, Params, PartitionStrategy};
-pub use telemetry::Telemetry;
+pub use telemetry::{PhaseTimes, Telemetry};

@@ -2,6 +2,29 @@
 
 use mpc_sim::Ledger;
 
+/// Coarse wall-clock phase breakdown of one end-to-end run, in seconds:
+/// the coarse estimate (GMM coresets + covering radius), the τ-ladder
+/// boundary search, and the finalization step (realized radius /
+/// assignment). Wall-clock only — host- and thread-count-dependent, and
+/// deliberately **not** part of any determinism or neutrality contract
+/// (those pin the ledger, which has no time dimension).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Coarse estimate: coreset construction and the first covering radius.
+    pub coarse_s: f64,
+    /// The τ-ladder boundary search (every rung evaluation).
+    pub ladder_s: f64,
+    /// Finalization: realized radius / final assignment after the search.
+    pub finalize_s: f64,
+}
+
+impl PhaseTimes {
+    /// Total tracked wall-clock time.
+    pub fn total_s(&self) -> f64 {
+        self.coarse_s + self.ladder_s + self.finalize_s
+    }
+}
+
 /// Summary of one MPC execution — the measured counterparts of the paper's
 /// claimed complexities (rounds, `Õ(mk)` communication per machine).
 #[derive(Debug, Clone)]
@@ -20,6 +43,14 @@ pub struct Telemetry {
     /// Largest peak resident memory noted on any machine (words) — the
     /// paper's `Õ(n/m + mk)` memory measure.
     pub max_machine_memory: u64,
+    /// Wall-clock phase breakdown (zeroed until the driver stamps it).
+    pub phases: PhaseTimes,
+    /// Ladder rungs actually evaluated (MPC work done) by the boundary
+    /// search; 0 for runs without a ladder.
+    pub ladder_evals: u64,
+    /// Accept-predicate probes issued by the boundary search, including
+    /// rung-cache hits; 0 for runs without a ladder.
+    pub ladder_probes: u64,
 }
 
 impl Telemetry {
@@ -32,6 +63,9 @@ impl Telemetry {
             total_words: ledger.total_words(),
             violations: ledger.violations().len(),
             max_machine_memory: ledger.max_machine_memory(),
+            phases: PhaseTimes::default(),
+            ladder_evals: 0,
+            ladder_probes: 0,
         }
     }
 
@@ -44,6 +78,9 @@ impl Telemetry {
             total_words: 0,
             violations: 0,
             max_machine_memory: 0,
+            phases: PhaseTimes::default(),
+            ladder_evals: 0,
+            ladder_probes: 0,
         }
     }
 }

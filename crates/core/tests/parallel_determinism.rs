@@ -206,6 +206,79 @@ proptest! {
     }
 
     #[test]
+    fn multi_tau_kernels_identical_across_thread_counts(
+        seed in 0u64..1_000,
+        base in 0.05f64..1.0,
+    ) {
+        let n = 64u32;
+        let taus: Vec<f64> = (0..6).map(|i| base * 1.25f64.powi(i)).collect();
+        // dim 3 exercises the tiled rung scan, dim 18 (≥ GRAM_MIN_DIM) the
+        // Gram-banded rung classification; both must be thread-invariant.
+        for dim in [3usize, 18] {
+            let space = EuclideanSpace::new(datasets::uniform_cube(n as usize, dim, seed));
+            let cands = big_candidates(n, PAR_MIN_BULK + 29);
+            let v = PointId(seed as u32 % n);
+            let run = || {
+                (
+                    space.count_within_taus(v, &cands, &taus),
+                    space.neighbors_within_taus(v, &cands, &taus),
+                )
+            };
+            let baseline = with_threads(1, run);
+            for &t in &THREAD_COUNTS[1..] {
+                prop_assert_eq!(&with_threads(t, run), &baseline, "dim={} threads={}", dim, t);
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_sorted_paths_identical_across_thread_counts(
+        seed in 0u64..1_000,
+        base in 0.05f64..1.0,
+    ) {
+        let n = 64u32;
+        let space = EuclideanSpace::new(datasets::uniform_cube(n as usize, 3, seed));
+        let taus: Vec<f64> = (0..5).map(|i| base * 1.2f64.powi(i)).collect();
+        let vs = big_candidates(n, 48);
+        let cands = big_candidates(n, PAR_MIN_BULK / 32 + 13);
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                // Fresh memo per width: the parallel batched fill happens
+                // on the first sweep, the second sweep's re-touch builds
+                // the sorted rows (prewarm then retrofits any stragglers),
+                // and the sorted `partition_point` path answers the rest.
+                // Counters pin that the hit/miss classification (and thus
+                // the sorted build schedule) is thread-count invariant.
+                let memo = MemoizedSpace::new(&space);
+                let first = memo.count_within_many(&vs, &cands, taus[0]);
+                memo.prewarm_taus(&taus);
+                let sweeps: Vec<Vec<usize>> = std::iter::once(first)
+                    .chain(taus.iter().map(|&tau| memo.count_within_many(&vs, &cands, tau)))
+                    .collect();
+                let neighbors = memo.neighbors_within_many(&vs, &cands, taus[0]);
+                let per_tau: Vec<Vec<usize>> = vs
+                    .iter()
+                    .map(|&v| memo.count_within_taus(PointId(v), &cands, &taus))
+                    .collect();
+                (
+                    sweeps,
+                    neighbors,
+                    per_tau,
+                    memo.hits(),
+                    memo.misses(),
+                    memo.sorted_rows_built(),
+                )
+            })
+        };
+        let baseline = run(1);
+        prop_assert!(baseline.5 > 0, "retouched rows must gain sorted rows");
+        for &t in &THREAD_COUNTS[1..] {
+            let got = run(t);
+            prop_assert_eq!(&got, &baseline, "threads={}", t);
+        }
+    }
+
+    #[test]
     fn set_distances_identical_across_thread_counts(
         seed in 0u64..1_000,
     ) {

@@ -242,6 +242,79 @@ impl EuclideanSpace {
         }
         rows
     }
+
+    /// Multi-τ single-query scan: classifies each candidate in `chunk`
+    /// into its entry rung against the ascending squared thresholds `t2s`
+    /// and emits `(candidate, entry)` for candidates some rung admits.
+    ///
+    /// Per pair the Gram estimate and norms are computed **once** and
+    /// re-judged against each rung's own error band; the exact
+    /// [`EuclideanSpace::row_dist_sq`] is computed lazily on the first
+    /// band hit and reused for every later rung. Each rung's verdict is
+    /// therefore exactly `dist_sq <= t2s[j]` — the scalar kernel's — and
+    /// since `t2s` is non-decreasing the verdict sequence is monotone, so
+    /// the first admitting rung fully describes all of them.
+    fn scan_rungs(
+        &self,
+        a: &[f64],
+        na: f64,
+        chunk: &[u32],
+        t2s: &[f64],
+        mut emit: impl FnMut(u32, usize),
+    ) {
+        let dim = self.points.dim();
+        let data = self.points.raw();
+        let norms = &self.sq_norms;
+        let band_scale = (4.0 * dim as f64 + 32.0) * f64::EPSILON;
+        let gram = dim >= GRAM_MIN_DIM;
+        for &c in chunk {
+            let b = &data[c as usize * dim..c as usize * dim + dim];
+            if gram {
+                let nb = norms[c as usize];
+                let g = na + nb - 2.0 * Self::row_dot(a, b);
+                let mut exact = f64::NAN;
+                let mut have_exact = false;
+                for (j, &t2) in t2s.iter().enumerate() {
+                    let band = band_scale * (na + nb + t2);
+                    let keep = if g <= t2 - band {
+                        true
+                    } else if g > t2 + band {
+                        false
+                    } else {
+                        if !have_exact {
+                            exact = Self::row_dist_sq(a, b);
+                            have_exact = true;
+                        }
+                        exact <= t2
+                    };
+                    if keep {
+                        emit(c, j);
+                        break;
+                    }
+                }
+            } else {
+                let ds = Self::row_dist_sq(a, b);
+                // First rung with t2 >= ds, i.e. ds <= t2 — the scalar
+                // verdict. `!(ds <= last)` also sheds NaN distances, which
+                // no rung admits.
+                if t2s.last().is_some_and(|&last| ds <= last) {
+                    emit(c, t2s.partition_point(|&t2| t2 < ds));
+                }
+            }
+        }
+    }
+
+    /// Splits the non-decreasing `taus` into the negative prefix (always
+    /// empty/zero rungs — the scalar kernels return nothing for τ < 0) and
+    /// the squared non-negative suffix.
+    fn split_taus(taus: &[f64]) -> (usize, Vec<f64>) {
+        debug_assert!(
+            taus.windows(2).all(|w| w[0] <= w[1]),
+            "multi-τ kernels require non-decreasing thresholds"
+        );
+        let j0 = taus.partition_point(|&t| t < 0.0);
+        (j0, taus[j0..].iter().map(|&t| t * t).collect())
+    }
 }
 
 impl MetricSpace for EuclideanSpace {
@@ -365,6 +438,95 @@ impl MetricSpace for EuclideanSpace {
         } else {
             run(vs)
         }
+    }
+
+    /// Multi-τ kernel over one candidate pass (see
+    /// [`EuclideanSpace::scan_rungs`]): norms and the Gram dot product are
+    /// computed once per pair and classified against every rung, instead of
+    /// once per rung. Chunked counts combine by elementwise integer sums,
+    /// so the parallel path equals the sequential scan exactly.
+    fn count_within_taus(&self, v: PointId, candidates: &[u32], taus: &[f64]) -> Vec<usize> {
+        let (j0, t2s) = Self::split_taus(taus);
+        let mut counts = vec![0usize; taus.len()];
+        if t2s.is_empty() {
+            return counts;
+        }
+        let dim = self.points.dim();
+        let data = self.points.raw();
+        let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
+        let na = self.sq_norms[v.idx()];
+        let scan = |chunk: &[u32]| -> Vec<usize> {
+            let mut entry_counts = vec![0usize; t2s.len()];
+            self.scan_rungs(a, na, chunk, &t2s, |_, j| entry_counts[j] += 1);
+            entry_counts
+        };
+        let entry_counts = if space::par_bulk_weighted(candidates.len(), dim * t2s.len()) {
+            use rayon::prelude::*;
+            candidates
+                .par_chunks(space::par_chunk_size_weighted(candidates.len(), dim))
+                .map(scan)
+                .reduce(
+                    || vec![0usize; t2s.len()],
+                    |mut acc, part| {
+                        for (a, b) in acc.iter_mut().zip(&part) {
+                            *a += b;
+                        }
+                        acc
+                    },
+                )
+        } else {
+            scan(candidates)
+        };
+        let mut acc = 0usize;
+        for (j, &e) in entry_counts.iter().enumerate() {
+            acc += e;
+            counts[j0 + j] = acc;
+        }
+        counts
+    }
+
+    /// Filter twin of [`MetricSpace::count_within_taus`]: one classification
+    /// pass, then each rung's list is the ordered filter of the admitted
+    /// `(candidate, entry)` pairs — candidate order preserved per rung, as
+    /// the per-rung scalar kernel would produce.
+    fn neighbors_within_taus(&self, v: PointId, candidates: &[u32], taus: &[f64]) -> Vec<Vec<u32>> {
+        let (j0, t2s) = Self::split_taus(taus);
+        if t2s.is_empty() {
+            return vec![Vec::new(); taus.len()];
+        }
+        let dim = self.points.dim();
+        let data = self.points.raw();
+        let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
+        let na = self.sq_norms[v.idx()];
+        let scan = |chunk: &[u32]| -> Vec<(u32, u32)> {
+            let mut entries = Vec::new();
+            self.scan_rungs(a, na, chunk, &t2s, |c, j| entries.push((c, j as u32)));
+            entries
+        };
+        let entries: Vec<(u32, u32)> =
+            if space::par_bulk_weighted(candidates.len(), dim * t2s.len()) {
+                use rayon::prelude::*;
+                let parts: Vec<Vec<(u32, u32)>> = candidates
+                    .par_chunks(space::par_chunk_size_weighted(candidates.len(), dim))
+                    .map(scan)
+                    .collect();
+                parts.concat()
+            } else {
+                scan(candidates)
+            };
+        (0..taus.len())
+            .map(|j| {
+                if j < j0 {
+                    return Vec::new();
+                }
+                let rung = (j - j0) as u32;
+                entries
+                    .iter()
+                    .filter(|&&(_, e)| e <= rung)
+                    .map(|&(c, _)| c)
+                    .collect()
+            })
+            .collect()
     }
 
     /// Bulk distance fill over flat rows. Deliberately **not** the Gram

@@ -207,6 +207,85 @@ impl MetricSpace for MatrixSpace {
         }
     }
 
+    /// Multi-τ kernel: one row borrow, then each candidate's entry rung is
+    /// a `partition_point` over the non-decreasing thresholds — the first
+    /// rung `j` with `row[c] <= taus[j]`, exactly the per-rung scalar
+    /// verdict. One pass answers every rung; per-rung counts are the prefix
+    /// sums of the entry histogram.
+    fn count_within_taus(&self, v: PointId, candidates: &[u32], taus: &[f64]) -> Vec<usize> {
+        debug_assert!(
+            taus.windows(2).all(|w| w[0] <= w[1]),
+            "count_within_taus requires non-decreasing thresholds"
+        );
+        let row = &self.d[v.idx() * self.n..(v.idx() + 1) * self.n];
+        let mut counts = vec![0usize; taus.len()];
+        let Some(&last) = taus.last() else {
+            return counts;
+        };
+        let scan = |chunk: &[u32]| -> Vec<usize> {
+            let mut entry = vec![0usize; taus.len()];
+            for &c in chunk {
+                let d = row[c as usize];
+                if d <= last {
+                    entry[taus.partition_point(|&t| t < d)] += 1;
+                }
+            }
+            entry
+        };
+        let entry = if space::par_bulk_weighted(candidates.len(), taus.len()) {
+            use rayon::prelude::*;
+            candidates
+                .par_chunks(space::par_chunk_size(candidates.len()))
+                .map(scan)
+                .reduce(
+                    || vec![0usize; taus.len()],
+                    |mut acc, part| {
+                        for (a, b) in acc.iter_mut().zip(&part) {
+                            *a += b;
+                        }
+                        acc
+                    },
+                )
+        } else {
+            scan(candidates)
+        };
+        let mut acc = 0usize;
+        for (j, &e) in entry.iter().enumerate() {
+            acc += e;
+            counts[j] = acc;
+        }
+        counts
+    }
+
+    /// Filter twin of [`MetricSpace::count_within_taus`] over the same row
+    /// slice; each rung's list preserves candidate order.
+    fn neighbors_within_taus(&self, v: PointId, candidates: &[u32], taus: &[f64]) -> Vec<Vec<u32>> {
+        debug_assert!(
+            taus.windows(2).all(|w| w[0] <= w[1]),
+            "neighbors_within_taus requires non-decreasing thresholds"
+        );
+        let row = &self.d[v.idx() * self.n..(v.idx() + 1) * self.n];
+        let Some(&last) = taus.last() else {
+            return Vec::new();
+        };
+        let entries: Vec<(u32, u32)> = candidates
+            .iter()
+            .filter_map(|&c| {
+                let d = row[c as usize];
+                (d <= last).then(|| (c, taus.partition_point(|&t| t < d) as u32))
+            })
+            .collect();
+        (0..taus.len())
+            .map(|j| {
+                entries
+                    .iter()
+                    .filter(|&&(_, e)| e as usize <= j)
+                    .map(|&(c, _)| c)
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Bulk distance fill: one row borrow, then a gather — each entry is
     /// the exact matrix lookup [`MetricSpace::dist`] performs.
     fn dists_into(&self, v: PointId, candidates: &[u32], out: &mut Vec<f64>) {

@@ -282,6 +282,73 @@ pub trait MetricSpace: Sync {
             .map(|&s| self.dist(p, s))
             .fold(f64::INFINITY, f64::min)
     }
+
+    /// Multi-τ threshold count: `result[j]` is exactly
+    /// [`MetricSpace::count_within`]`(v, candidates, taus[j])`, for a
+    /// **monotone non-decreasing** batch of finite thresholds (the ladder's
+    /// rung schedule). One candidate pass classifies each candidate into
+    /// its *entry rung* — the first rung that admits it — and the per-rung
+    /// counts fall out as a prefix sum, so `|taus|` rungs cost one scan
+    /// instead of `|taus|`.
+    ///
+    /// The entry-rung representation is sound because every implementation's
+    /// `within` answers `dist <= τ`, which is monotone in τ: once a
+    /// candidate is admitted it stays admitted at every larger rung.
+    /// Verdicts per rung are bit-identical to the scalar kernel's (the
+    /// consistency proptests pin this for every space in the crate).
+    fn count_within_taus(&self, v: PointId, candidates: &[u32], taus: &[f64]) -> Vec<usize> {
+        debug_assert!(
+            taus.windows(2).all(|w| w[0] <= w[1]),
+            "count_within_taus requires non-decreasing thresholds"
+        );
+        let mut counts = vec![0usize; taus.len()];
+        for &c in candidates {
+            let mut j = 0;
+            while j < taus.len() && !self.within(v, PointId(c), taus[j]) {
+                j += 1;
+            }
+            if j < taus.len() {
+                counts[j] += 1;
+            }
+        }
+        for j in 1..counts.len() {
+            counts[j] += counts[j - 1];
+        }
+        counts
+    }
+
+    /// Multi-τ threshold filter: `result[j]` is the ordered neighbor list
+    /// [`MetricSpace::neighbors_within`] would produce at `taus[j]`. Same
+    /// monotone-batch contract and entry-rung argument as
+    /// [`MetricSpace::count_within_taus`]; each per-rung list preserves
+    /// candidate order exactly.
+    fn neighbors_within_taus(&self, v: PointId, candidates: &[u32], taus: &[f64]) -> Vec<Vec<u32>> {
+        debug_assert!(
+            taus.windows(2).all(|w| w[0] <= w[1]),
+            "neighbors_within_taus requires non-decreasing thresholds"
+        );
+        // (candidate, entry rung) for candidates admitted by some rung,
+        // in candidate order.
+        let mut entries: Vec<(u32, u32)> = Vec::new();
+        for &c in candidates {
+            let mut j = 0;
+            while j < taus.len() && !self.within(v, PointId(c), taus[j]) {
+                j += 1;
+            }
+            if j < taus.len() {
+                entries.push((c, j as u32));
+            }
+        }
+        (0..taus.len())
+            .map(|j| {
+                entries
+                    .iter()
+                    .filter(|&&(_, e)| e as usize <= j)
+                    .map(|&(c, _)| c)
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 impl<M: MetricSpace + ?Sized> MetricSpace for &M {
@@ -314,6 +381,12 @@ impl<M: MetricSpace + ?Sized> MetricSpace for &M {
     }
     fn dist_to_set(&self, p: PointId, set: &[PointId]) -> f64 {
         (**self).dist_to_set(p, set)
+    }
+    fn count_within_taus(&self, v: PointId, candidates: &[u32], taus: &[f64]) -> Vec<usize> {
+        (**self).count_within_taus(v, candidates, taus)
+    }
+    fn neighbors_within_taus(&self, v: PointId, candidates: &[u32], taus: &[f64]) -> Vec<Vec<u32>> {
+        (**self).neighbors_within_taus(v, candidates, taus)
     }
 }
 

@@ -57,7 +57,12 @@ fn probe_taus<M: MetricSpace + ?Sized>(m: &M) -> Vec<f64> {
 ///    boundary thresholds (for `EuclideanSpace` this exercises the Gram
 ///    band's exact-recompute fallback);
 /// 6. `dists_into` is bitwise `dist` per candidate, and `dist_to_set` is
-///    bitwise the min-fold of `dist` over the set (`INFINITY` on empty).
+///    bitwise the min-fold of `dist` over the set (`INFINITY` on empty);
+/// 7. the multi-τ kernels (`count_within_taus` / `neighbors_within_taus`)
+///    over the full sorted probe batch equal the per-τ kernels rung for
+///    rung — including exact boundary thresholds, negative rungs, and
+///    duplicated rungs (for `EuclideanSpace` this exercises the one-pass
+///    entry-rung classification against the Gram band).
 fn check_kernels<M: MetricSpace>(m: &M) -> Result<(), TestCaseError> {
     let n = m.n() as u32;
     let all: Vec<u32> = (0..n).collect();
@@ -97,6 +102,44 @@ fn check_kernels<M: MetricSpace>(m: &M) -> Result<(), TestCaseError> {
                 v,
                 ids.len()
             );
+        }
+    }
+    // (7) — the multi-τ kernels over the whole sorted probe batch. The
+    // kernels require non-decreasing thresholds (`probe_taus` is not
+    // sorted), and `total_cmp` keeps duplicates adjacent.
+    {
+        let mut batch = probe_taus(m);
+        batch.sort_by(f64::total_cmp);
+        for &v in &probes {
+            let v = PointId(v);
+            for cands in [&all, &evens, &with_dup, &empty] {
+                let per_tau_counts: Vec<usize> = batch
+                    .iter()
+                    .map(|&tau| m.count_within(v, cands, tau))
+                    .collect();
+                prop_assert_eq!(
+                    m.count_within_taus(v, cands, &batch),
+                    per_tau_counts,
+                    "count_within_taus vs per-τ: v={:?} |cands|={}",
+                    v,
+                    cands.len()
+                );
+                let rows = m.neighbors_within_taus(v, cands, &batch);
+                prop_assert_eq!(rows.len(), batch.len());
+                for (&tau, row) in batch.iter().zip(&rows) {
+                    let mut per = Vec::new();
+                    m.neighbors_within(v, cands, tau, &mut per);
+                    prop_assert_eq!(
+                        row,
+                        &per,
+                        "neighbors_within_taus vs per-τ: v={:?} tau={}",
+                        v,
+                        tau
+                    );
+                }
+                let fwd = &m;
+                prop_assert_eq!(fwd.count_within_taus(v, cands, &batch), per_tau_counts);
+            }
         }
     }
     for tau in probe_taus(m) {
@@ -246,6 +289,17 @@ proptest! {
         m.reset();
         let _ = m.neighbors_within_many(&vs, &all, 1.0);
         prop_assert_eq!(m.calls(), (vs.len() * all.len()) as u64);
+        let taus = {
+            let mut t = vec![0.5, 1.0, 1.0, 2.0];
+            t.sort_by(f64::total_cmp);
+            t
+        };
+        m.reset();
+        let _ = m.count_within_taus(PointId(0), &all, &taus);
+        prop_assert_eq!(m.calls(), (all.len() * taus.len()) as u64);
+        m.reset();
+        let _ = m.neighbors_within_taus(PointId(0), &all, &taus);
+        prop_assert_eq!(m.calls(), (all.len() * taus.len()) as u64);
         m.reset();
         let mut out = Vec::new();
         m.dists_into(PointId(0), &all, &mut out);

@@ -53,7 +53,7 @@ fn main() {
             println!(
                 "n={n} m={m} k={k} seed={seed} t={threads} centers={:?} \
                  radius={:016x} coarse_r={:016x} boundary={} rounds={} \
-                 words={} peak_mem={} ledger_fnv={:016x}",
+                 words={} peak_mem={} evals={} probes={} ledger_fnv={:016x}",
                 res.centers,
                 res.radius.to_bits(),
                 res.coarse_r.to_bits(),
@@ -61,7 +61,17 @@ fn main() {
                 ledger.rounds(),
                 ledger.total_words(),
                 ledger.max_machine_memory(),
+                res.telemetry.ladder_evals,
+                res.telemetry.ladder_probes,
                 h.0
+            );
+            // Wall-clock phase split on stderr only: it is host- and
+            // thread-dependent, and stdout must stay byte-diffable.
+            eprintln!(
+                "  phases(t={threads}): coarse={:.4}s ladder={:.4}s finalize={:.4}s",
+                res.telemetry.phases.coarse_s,
+                res.telemetry.phases.ladder_s,
+                res.telemetry.phases.finalize_s
             );
         }
     }
