@@ -3,16 +3,22 @@
 //!
 //! ```text
 //! bench_diff [--threshold PCT] [--require-all] <baseline.json> <fresh.json>
+//! bench_diff --list <file.json> [<file.json>…]
 //! ```
 //!
 //! Both files use the shim's `CRITERION_JSON` format — a JSON array of
 //! `{"id", "median_ns", "min_ns", "samples"}` records. For every id
 //! present in both files the fresh median may exceed the baseline median
-//! by at most `PCT` percent (default 25). Ids only in the baseline are a
-//! warning (the fresh run may have been filtered), or an error under
-//! `--require-all`; ids only in the fresh run are reported but never
-//! fatal, so adding benchmarks doesn't require regenerating baselines in
-//! the same commit.
+//! by at most `PCT` percent (default 25). Ids only in one file are
+//! reported **with their median** (so a rename or filter still shows what
+//! the orphaned entry measured): baseline-only ids are a warning (the
+//! fresh run may have been filtered), or an error under `--require-all`;
+//! fresh-only ids are never fatal, so adding benchmarks doesn't require
+//! regenerating baselines in the same commit.
+//!
+//! `--list` skips the comparison and dumps every record of the given
+//! file(s), one `id → median` line each — a quick way to inspect a
+//! checked-in baseline without reading raw JSON.
 //!
 //! Exit status: 0 when every shared id is within the threshold, 1
 //! otherwise — which is what lets CI use this as a smoke leg:
@@ -75,47 +81,33 @@ fn parse_records(text: &str, path: &str) -> Result<Vec<Record>, String> {
     Ok(records)
 }
 
-fn run() -> Result<bool, String> {
-    let mut threshold_pct = 25.0f64;
-    let mut require_all = false;
-    let mut files: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--threshold" => {
-                let v = args.next().ok_or("--threshold needs a value")?;
-                threshold_pct = v
-                    .parse()
-                    .map_err(|_| format!("bad --threshold value: {v}"))?;
-            }
-            "--require-all" => require_all = true,
-            "--help" | "-h" => {
-                println!(
-                    "usage: bench_diff [--threshold PCT] [--require-all] \
-                     <baseline.json> <fresh.json>"
-                );
-                return Ok(true);
-            }
-            _ => files.push(arg),
-        }
-    }
-    let [baseline_path, fresh_path] = files.as_slice() else {
-        return Err("expected exactly two files: <baseline.json> <fresh.json>".into());
-    };
-    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
-    let baseline = parse_records(&read(baseline_path)?, baseline_path)?;
-    let fresh = parse_records(&read(fresh_path)?, fresh_path)?;
-
+/// The comparison proper, decoupled from I/O so it is unit-testable:
+/// returns the report lines and whether the gate passed. One-sided ids are
+/// always reported with their median so the report carries every number
+/// both files contain.
+fn compare(
+    baseline: &[Record],
+    fresh: &[Record],
+    threshold_pct: f64,
+    require_all: bool,
+) -> Result<(Vec<String>, bool), String> {
     let allowed = 1.0 + threshold_pct / 100.0;
+    let mut lines = Vec::new();
     let mut ok = true;
     let mut compared = 0usize;
-    for base in &baseline {
+    for base in baseline {
         let Some(new) = fresh.iter().find(|r| r.id == base.id) else {
             if require_all {
                 ok = false;
-                println!("MISSING {:60} (baseline-only, --require-all)", base.id);
+                lines.push(format!(
+                    "MISSING   {:60} {:>12.0} ns -> (absent)      (baseline-only, --require-all)",
+                    base.id, base.median_ns
+                ));
             } else {
-                println!("skipped {:60} (not in fresh run)", base.id);
+                lines.push(format!(
+                    "base-only {:60} {:>12.0} ns -> (absent)      (not in fresh run)",
+                    base.id, base.median_ns
+                ));
             }
             continue;
         };
@@ -127,27 +119,89 @@ fn run() -> Result<bool, String> {
         } else {
             "ok"
         };
-        println!(
+        lines.push(format!(
             "{verdict:9} {:60} {:>12.0} ns -> {:>12.0} ns  ({:+.1}%)",
             base.id,
             base.median_ns,
             new.median_ns,
             (ratio - 1.0) * 100.0
-        );
+        ));
     }
-    for new in &fresh {
+    for new in fresh {
         if !baseline.iter().any(|r| r.id == new.id) {
-            println!("new     {:60} (no baseline)", new.id);
+            lines.push(format!(
+                "new       {:60} (absent)      -> {:>12.0} ns  (no baseline)",
+                new.id, new.median_ns
+            ));
         }
     }
     if compared == 0 {
         return Err("no shared benchmark ids between baseline and fresh run".into());
     }
-    println!(
-        "{compared} benchmarks compared against {baseline_path}, threshold +{threshold_pct}% \
-         on medians: {}",
+    lines.push(format!(
+        "{compared} benchmarks compared, threshold +{threshold_pct}% on medians: {}",
         if ok { "PASS" } else { "FAIL" }
-    );
+    ));
+    Ok((lines, ok))
+}
+
+/// `--list` rendering of one parsed file.
+fn list_lines(path: &str, records: &[Record]) -> Vec<String> {
+    let mut lines = vec![format!("{path}: {} records", records.len())];
+    for r in records {
+        lines.push(format!("  {:60} {:>12.0} ns", r.id, r.median_ns));
+    }
+    lines
+}
+
+fn run() -> Result<bool, String> {
+    let mut threshold_pct = 25.0f64;
+    let mut require_all = false;
+    let mut list = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().ok_or("--threshold needs a value")?;
+                threshold_pct = v
+                    .parse()
+                    .map_err(|_| format!("bad --threshold value: {v}"))?;
+            }
+            "--require-all" => require_all = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_diff [--threshold PCT] [--require-all] \
+                     <baseline.json> <fresh.json>\n       bench_diff --list <file.json>…"
+                );
+                return Ok(true);
+            }
+            _ => files.push(arg),
+        }
+    }
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    if list {
+        if files.is_empty() {
+            return Err("--list needs at least one file".into());
+        }
+        for path in &files {
+            for line in list_lines(path, &parse_records(&read(path)?, path)?) {
+                println!("{line}");
+            }
+        }
+        return Ok(true);
+    }
+    let [baseline_path, fresh_path] = files.as_slice() else {
+        return Err("expected exactly two files: <baseline.json> <fresh.json>".into());
+    };
+    let baseline = parse_records(&read(baseline_path)?, baseline_path)?;
+    let fresh = parse_records(&read(fresh_path)?, fresh_path)?;
+    let (lines, ok) = compare(&baseline, &fresh, threshold_pct, require_all)?;
+    for line in &lines {
+        println!("{line}");
+    }
+    println!("baseline: {baseline_path}");
     Ok(ok)
 }
 
@@ -192,5 +246,65 @@ mod tests {
     fn numeric_field_handles_scientific_notation() {
         let obj = "{\"id\": \"x\", \"median_ns\": 1.5e6}";
         assert_eq!(field_num(obj, "median_ns"), Some(1.5e6));
+    }
+
+    fn rec(id: &str, median_ns: f64) -> Record {
+        Record {
+            id: id.into(),
+            median_ns,
+        }
+    }
+
+    #[test]
+    fn one_sided_entries_report_their_medians() {
+        let baseline = [rec("shared", 100.0), rec("gone", 250.0)];
+        let fresh = [rec("shared", 110.0), rec("added", 75.0)];
+        let (lines, ok) = compare(&baseline, &fresh, 25.0, false).unwrap();
+        assert!(ok);
+        let gone = lines.iter().find(|l| l.contains("gone")).unwrap();
+        assert!(gone.starts_with("base-only"), "{gone}");
+        assert!(gone.contains("250 ns"), "must carry the median: {gone}");
+        let added = lines.iter().find(|l| l.contains("added")).unwrap();
+        assert!(added.starts_with("new"), "{added}");
+        assert!(added.contains("75 ns"), "must carry the median: {added}");
+        assert!(lines.last().unwrap().contains("1 benchmarks compared"));
+    }
+
+    #[test]
+    fn require_all_fails_on_baseline_only_entries() {
+        let baseline = [rec("shared", 100.0), rec("gone", 250.0)];
+        let fresh = [rec("shared", 100.0)];
+        let (lines, ok) = compare(&baseline, &fresh, 25.0, true).unwrap();
+        assert!(!ok);
+        let gone = lines.iter().find(|l| l.contains("gone")).unwrap();
+        assert!(gone.starts_with("MISSING"), "{gone}");
+        assert!(gone.contains("250 ns"), "{gone}");
+    }
+
+    #[test]
+    fn regressions_fail_within_threshold_passes() {
+        let baseline = [rec("a", 100.0), rec("b", 100.0)];
+        let fresh = [rec("a", 124.0), rec("b", 126.0)];
+        let (lines, ok) = compare(&baseline, &fresh, 25.0, false).unwrap();
+        assert!(!ok);
+        assert!(lines.iter().any(|l| l.starts_with("ok") && l.contains('a')));
+        assert!(lines.iter().any(|l| l.starts_with("REGRESSED")));
+    }
+
+    #[test]
+    fn disjoint_files_are_an_error_not_a_pass() {
+        let baseline = [rec("only-here", 1.0)];
+        let fresh = [rec("only-there", 1.0)];
+        assert!(compare(&baseline, &fresh, 25.0, false).is_err());
+    }
+
+    #[test]
+    fn list_mode_prints_every_record() {
+        let recs = parse_records(SAMPLE, "sample").unwrap();
+        let lines = list_lines("sample", &recs);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("2 records"));
+        assert!(lines[1].contains("tiled/many-d4-n10000-q64/t1"));
+        assert!(lines[1].contains("1706570 ns"));
     }
 }

@@ -199,6 +199,7 @@ pub fn mpc_kcenter_on<M: MetricSpace + ?Sized>(
     };
     telemetry.ladder_evals = search.evals() as u64;
     telemetry.ladder_probes = search.probes() as u64;
+    telemetry.memo = Some(memo.stats());
     KCenterResult {
         centers: to_point_ids(&centers_raw),
         radius,

@@ -36,5 +36,6 @@ pub mod params;
 pub mod telemetry;
 pub mod verify;
 
+pub use memo::MemoStats;
 pub use params::{BoundarySearch, Params, PartitionStrategy};
 pub use telemetry::{PhaseTimes, Telemetry};

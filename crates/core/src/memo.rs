@@ -114,6 +114,35 @@ fn sorted_cost(len: usize) -> usize {
     len + len.div_ceil(2)
 }
 
+/// Point-in-time snapshot of a [`MemoizedSpace`]'s counters and residency
+/// (see [`MemoizedSpace::stats`]). All counts are cumulative since
+/// construction except `entries`/`sorted_rows`/`stored_words`, which
+/// describe what is resident *now* (post-flush).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Bulk queries answered from cache.
+    pub hits: u64,
+    /// Bulk queries that had to compute their distance vector.
+    pub misses: u64,
+    /// Shard flushes forced by the capacity cap.
+    pub flushes: u64,
+    /// Sorted companion rows built (counting rebuilds after eviction).
+    pub sorted_builds: u64,
+    /// Rows currently resident.
+    pub entries: usize,
+    /// Resident rows that carry a sorted companion.
+    pub sorted_rows: usize,
+    /// `f64`-equivalent words held by resident vectors and sorted rows.
+    pub stored_words: usize,
+}
+
+impl MemoStats {
+    /// Approximate resident heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.stored_words * std::mem::size_of::<f64>()
+    }
+}
+
 struct Entry {
     dists: Arc<Vec<f64>>,
     sorted: Option<Arc<SortedRow>>,
@@ -258,6 +287,34 @@ impl<'a, M: MetricSpace + ?Sized> MemoizedSpace<'a, M> {
     /// eviction).
     pub fn sorted_rows_built(&self) -> u64 {
         self.sorted_builds.load(Ordering::Relaxed)
+    }
+
+    /// One consistent snapshot of the cache counters and residency — for
+    /// telemetry and the `ladder_digest` probe. Counter reads are relaxed
+    /// (exact once the queries being summarized have completed); residency
+    /// takes each shard lock briefly. Purely observational: calling this
+    /// never changes cache behavior.
+    pub fn stats(&self) -> MemoStats {
+        let mut entries = 0usize;
+        let mut sorted_rows = 0usize;
+        let mut stored_words = 0usize;
+        let mut flushes = 0u64;
+        for shard in &self.shards {
+            let s = shard.lock().unwrap();
+            entries += s.map.len();
+            sorted_rows += s.map.values().filter(|e| e.sorted.is_some()).count();
+            stored_words += s.stored;
+            flushes += s.flushes;
+        }
+        MemoStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            flushes,
+            sorted_builds: self.sorted_rows_built(),
+            entries,
+            sorted_rows,
+            stored_words,
+        }
     }
 
     /// Registers a rung schedule: the boundary search will probe (up to)

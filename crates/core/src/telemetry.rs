@@ -2,6 +2,8 @@
 
 use mpc_sim::Ledger;
 
+use crate::memo::MemoStats;
+
 /// Coarse wall-clock phase breakdown of one end-to-end run, in seconds:
 /// the coarse estimate (GMM coresets + covering radius), the τ-ladder
 /// boundary search, and the finalization step (realized radius /
@@ -51,6 +53,10 @@ pub struct Telemetry {
     /// Accept-predicate probes issued by the boundary search, including
     /// rung-cache hits; 0 for runs without a ladder.
     pub ladder_probes: u64,
+    /// Distance-memo cache snapshot taken when the ladder finished; `None`
+    /// for runs without a ladder. Local-compute observability only — the
+    /// memo never touches the ledger.
+    pub memo: Option<MemoStats>,
 }
 
 impl Telemetry {
@@ -66,6 +72,7 @@ impl Telemetry {
             phases: PhaseTimes::default(),
             ladder_evals: 0,
             ladder_probes: 0,
+            memo: None,
         }
     }
 
@@ -81,6 +88,7 @@ impl Telemetry {
             phases: PhaseTimes::default(),
             ladder_evals: 0,
             ladder_probes: 0,
+            memo: None,
         }
     }
 }

@@ -1,6 +1,11 @@
 //! Euclidean (L2) metric over flat point storage.
 
+use std::sync::OnceLock;
+
 use crate::point::{PointId, PointSet};
+use crate::simd;
+use crate::sketch::Sketch;
+use crate::soa::{f32_band_scale, SoaStorage, SpeedTier};
 use crate::space::{self, MetricSpace};
 
 /// Target footprint of one candidate tile in the multi-query kernels:
@@ -9,13 +14,16 @@ use crate::space::{self, MetricSpace};
 /// from cache across every query in the batch.
 const TILE_BYTES: usize = 16 * 1024;
 
-/// Candidate-tile length for `dim`-dimensional rows: [`TILE_BYTES`] worth
-/// of coordinates, floored so tiny tiles don't drown in loop overhead. A
-/// function of the dimension only — never of thread count or batch size —
-/// so tiling can't perturb determinism (and per-pair arithmetic is
-/// independent of tile boundaries anyway).
-fn tile_len(dim: usize) -> usize {
-    (TILE_BYTES / (8 * dim.max(1))).clamp(16, 4096)
+/// Candidate-tile length for `dim`-dimensional rows of `bytes_per_coord`-
+/// byte coordinates: [`TILE_BYTES`] worth, floored so tiny tiles don't
+/// drown in loop overhead. A function of the dimension and storage width
+/// only — never of thread count or batch size — so tiling can't perturb
+/// determinism (per-pair arithmetic is independent of tile boundaries
+/// anyway). The f32 SoA tiers pass 4, doubling the rows per tile: the tile
+/// streams f32 rows, so the same L1 budget covers twice as many
+/// candidates, halving query-row restreaming.
+fn tile_len(dim: usize, bytes_per_coord: usize) -> usize {
+    (TILE_BYTES / (bytes_per_coord * dim.max(1))).clamp(16, 4096)
 }
 
 /// Minimum dimension for the Gram-estimate pair decision in the tiled
@@ -26,74 +34,6 @@ fn tile_len(dim: usize) -> usize {
 /// already ≈3× faster per pair than Gram + band (see DESIGN.md §6.2).
 const GRAM_MIN_DIM: usize = 16;
 
-/// Runtime-detected AVX2+FMA dot product for the Gram **estimate** only.
-///
-/// rustc's default `x86-64` baseline is SSE2 (two f64 lanes), which leaves
-/// most of a modern core idle in the dot-product inner loop. This kernel
-/// uses 256-bit FMA when the host supports it — roughly 4× the multiply-add
-/// throughput. FMA and the wider accumulator split round differently than
-/// the scalar fold, which is safe *here only*: the result feeds the banded
-/// Gram estimate, whose error band already covers accumulation-order slack
-/// (FMA's fused rounding is strictly tighter than mul-then-add), and every
-/// pair inside the band is re-decided with the exact scalar
-/// `row_dist_sq`. Decisions therefore stay bit-identical to the scalar
-/// kernel on every host, SIMD or not. Exact distance-returning paths never
-/// call this.
-#[cfg(target_arch = "x86_64")]
-mod simd {
-    use std::sync::OnceLock;
-
-    /// One-time cpuid probe; a cached bool thereafter (function of the
-    /// host, never of thread count or input — determinism is untouched).
-    #[inline]
-    pub fn avx_available() -> bool {
-        static AVX: OnceLock<bool> = OnceLock::new();
-        *AVX.get_or_init(|| {
-            std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma")
-        })
-    }
-
-    /// # Safety
-    /// Caller must ensure the host supports AVX2 and FMA
-    /// ([`avx_available`]).
-    #[target_feature(enable = "avx2", enable = "fma")]
-    pub unsafe fn dot_avx2_fma(a: &[f64], b: &[f64]) -> f64 {
-        use std::arch::x86_64::*;
-        let n = a.len();
-        debug_assert_eq!(n, b.len());
-        let mut acc0 = _mm256_setzero_pd();
-        let mut acc1 = _mm256_setzero_pd();
-        let mut i = 0;
-        while i + 8 <= n {
-            let a0 = _mm256_loadu_pd(a.as_ptr().add(i));
-            let b0 = _mm256_loadu_pd(b.as_ptr().add(i));
-            acc0 = _mm256_fmadd_pd(a0, b0, acc0);
-            let a1 = _mm256_loadu_pd(a.as_ptr().add(i + 4));
-            let b1 = _mm256_loadu_pd(b.as_ptr().add(i + 4));
-            acc1 = _mm256_fmadd_pd(a1, b1, acc1);
-            i += 8;
-        }
-        if i + 4 <= n {
-            let a0 = _mm256_loadu_pd(a.as_ptr().add(i));
-            let b0 = _mm256_loadu_pd(b.as_ptr().add(i));
-            acc0 = _mm256_fmadd_pd(a0, b0, acc0);
-            i += 4;
-        }
-        let acc = _mm256_add_pd(acc0, acc1);
-        let lo = _mm256_castpd256_pd128(acc);
-        let hi = _mm256_extractf128_pd(acc, 1);
-        let pair = _mm_add_pd(lo, hi);
-        let one = _mm_add_sd(pair, _mm_unpackhi_pd(pair, pair));
-        let mut dot = _mm_cvtsd_f64(one);
-        while i < n {
-            dot += a.get_unchecked(i) * b.get_unchecked(i);
-            i += 1;
-        }
-        dot
-    }
-}
-
 /// The Euclidean metric `d(x, y) = ||x - y||_2` over a [`PointSet`].
 #[derive(Debug, Clone)]
 pub struct EuclideanSpace {
@@ -101,11 +41,208 @@ pub struct EuclideanSpace {
     /// `sq_norms[i] = ||x_i||²`, cached at construction for the Gram-trick
     /// multi-query kernels (`||u − v||² = ||u||² + ||v||² − 2⟨u, v⟩`).
     sq_norms: Vec<f64>,
+    /// Which estimate layers the bulk threshold kernels may use (see
+    /// [`SpeedTier`]); verdicts are bit-identical at every tier.
+    tier: SpeedTier,
+    /// Lazily built f32 mirror ([`SpeedTier::Soa`]+). Derived purely from
+    /// `points`, so cloning the cache with the space is sound.
+    soa: OnceLock<SoaStorage>,
+    /// Lazily built Hamming prefilter sketch ([`SpeedTier::SoaSketch`]).
+    sketch: OnceLock<Sketch>,
+}
+
+/// Per-kernel-call fast-path context: the f32 mirror, the optional sketch,
+/// and the f32 error-band scale, resolved once so the per-pair loop only
+/// branches on data.
+struct Fast<'a> {
+    soa: &'a SoaStorage,
+    sketch: Option<&'a Sketch>,
+    band_scale: f64,
+}
+
+/// One query's slice of the fast path: its exact f64 row (for band
+/// fallbacks), its f32 mirror row and norm, and its sketch limbs.
+struct FastQuery<'a> {
+    a64: &'a [f64],
+    a32: &'a [f32],
+    na32: f64,
+    qsk: Option<&'a [u64]>,
+}
+
+impl Fast<'_> {
+    /// Binds query `q`'s rows/norm/limbs for repeated candidate tests.
+    fn query<'a>(&'a self, q: usize, data: &'a [f64], dim: usize) -> FastQuery<'a> {
+        FastQuery {
+            a64: &data[q * dim..(q + 1) * dim],
+            a32: self.soa.row(q),
+            na32: self.soa.norm(q) as f64,
+            qsk: self.sketch.map(|s| s.limbs(q)),
+        }
+    }
+
+    /// Turns a batched class ([`simd::classify_f32_indexed`]) into the
+    /// final verdict, **bit-identically** to the exact kernel: the f32
+    /// estimate decides only outside its error band ([`simd::CLASS_KEEP`]
+    /// / [`simd::CLASS_REJECT`]), band hits ([`simd::CLASS_EXACT`]) fall
+    /// back to the exact f64 evaluation.
+    #[inline]
+    fn resolve(fq: &FastQuery<'_>, c: usize, class: u8, t2: f64, data: &[f64], dim: usize) -> bool {
+        match class {
+            simd::CLASS_KEEP => true,
+            simd::CLASS_REJECT => false,
+            _ => {
+                let b = &data[c * dim..(c + 1) * dim];
+                EuclideanSpace::row_dist_sq(fq.a64, b) <= t2
+            }
+        }
+    }
+
+    /// One batched call per (query, tile): optional certified sketch
+    /// rejects, then SIMD dot + banded classification over the survivors.
+    /// Returns the survivor ids, their tile positions (when sketched), and
+    /// fills `classes`.
+    fn classify_tile<'a>(
+        &self,
+        fq: &FastQuery<'_>,
+        sieve: &'a mut SketchSieve,
+        classes: &mut Vec<u8>,
+        tile: &'a [u32],
+        t2: f64,
+        dim: usize,
+    ) -> (&'a [u32], Option<&'a [u32]>) {
+        let (surv, pos) = sieve.prefilter(self, fq, tile, t2);
+        classes.resize(surv.len(), 0);
+        if is_contiguous_run(surv) {
+            // Contiguous candidates (the whole-set scan, and sketched
+            // tiles where nothing was rejected): the dimension-major run
+            // kernel — no gathers, no horizontal sums.
+            simd::classify_f32_run(
+                fq.a32,
+                self.soa.cols(),
+                self.soa.len(),
+                self.soa.raw(),
+                self.soa.norms(),
+                dim,
+                surv[0] as usize,
+                fq.na32,
+                t2,
+                self.band_scale,
+                classes,
+            );
+        } else {
+            simd::classify_f32_indexed(
+                fq.a32,
+                self.soa.raw(),
+                self.soa.norms(),
+                dim,
+                surv,
+                fq.na32,
+                t2,
+                self.band_scale,
+                classes,
+            );
+        }
+        (surv, pos)
+    }
+}
+
+/// Whether `ids` is `ids[0], ids[0]+1, …` — the access pattern the
+/// dimension-major run kernel accepts. Short-circuits on the first gap, so
+/// scattered candidate lists pay a handful of compares.
+#[inline]
+fn is_contiguous_run(ids: &[u32]) -> bool {
+    ids.len() >= 8 && ids.windows(2).all(|w| w[1] == w[0] + 1)
+}
+
+/// Once a sieve has judged this many pairs, its cumulative certified-
+/// reject rate decides whether the sketch keeps running for the rest of
+/// the scan (see [`SketchSieve::prefilter`]).
+const SIEVE_SAMPLE: usize = 2048;
+/// Keep the sketch only while it certifies at least 1-in-`SIEVE_MIN_RATE`
+/// rejects over the sample — below that its popcounts cost more than the
+/// dot products they skip.
+const SIEVE_MIN_RATE: usize = 16;
+
+/// Reusable sketch-prefilter scratch — allocated once per bulk kernel
+/// call, resized per tile, so the batched tile kernels in [`crate::simd`]
+/// run one call frame per tile with no per-pair allocation. Also carries
+/// the scan's adaptive on/off state (see [`SketchSieve::prefilter`]).
+#[derive(Default)]
+struct SketchSieve {
+    /// Batched sketch lower bounds over the tile.
+    lb2: Vec<f64>,
+    /// Candidate ids the sketch could not reject, in tile order.
+    ids: Vec<u32>,
+    /// Their positions within the tile (parallel to `ids`).
+    pos: Vec<u32>,
+    /// Pairs this scan has sketch-judged so far.
+    tested: usize,
+    /// How many of them the sketch certified as rejects.
+    rejected: usize,
+}
+
+impl SketchSieve {
+    /// Sketch-prefilters `tile`: batch-computes lower bounds and keeps the
+    /// candidates the sketch cannot certify as rejected at squared
+    /// threshold `t2` (callers with several rungs pass the largest).
+    /// Returns `(survivor_ids, Some(their_tile_positions))`, or the whole
+    /// tile with `None` when the sketch was skipped. Certified rejects are
+    /// exactly the pairs [`Sketch::certified_reject`] rejects, so dropping
+    /// them here cannot change any verdict — only skip their dot products.
+    ///
+    /// The sieve is **adaptive**: a certified reject is never wrong, but
+    /// at a τ near or above the data's typical distances it is also never
+    /// *available*, and then the popcounts are pure overhead. So the sieve
+    /// tracks its cumulative reject rate and switches itself off for the
+    /// remainder of the scan once a [`SIEVE_SAMPLE`]-pair sample shows the
+    /// rate under 1/[`SIEVE_MIN_RATE`]. Skipped pairs flow to the banded
+    /// estimate + exact fallback, which decides every pair correctly on
+    /// its own — the adaptivity moves cycles, never verdicts. It depends
+    /// only on data and tile order, not thread count or timing.
+    fn prefilter<'a>(
+        &'a mut self,
+        fast: &Fast<'_>,
+        fq: &FastQuery<'_>,
+        tile: &'a [u32],
+        t2: f64,
+    ) -> (&'a [u32], Option<&'a [u32]>) {
+        let (Some(sk), Some(qa)) = (fast.sketch, fq.qsk) else {
+            return (tile, None);
+        };
+        if self.tested >= SIEVE_SAMPLE && self.rejected * SIEVE_MIN_RATE < self.tested {
+            return (tile, None);
+        }
+        self.lb2.resize(tile.len(), 0.0);
+        sk.lower_bounds_sq_indexed(qa, tile, &mut self.lb2);
+        let margin = sk.margin();
+        // Same predicate as `Sketch::certified_reject`; `!reject` keeps
+        // NaN thresholds on the survivor (exact-evaluation) side.
+        let rejects = self.lb2.iter().filter(|&&lb2| lb2 * margin > t2).count();
+        self.tested += tile.len();
+        self.rejected += rejects;
+        // A near-empty reject set is not worth compacting: handing the
+        // whole tile to the contiguous-run kernel beats gathering the
+        // survivor list, and the few rejects re-decide cheaply there.
+        if rejects * 8 < tile.len() {
+            return (tile, None);
+        }
+        self.ids.clear();
+        self.pos.clear();
+        for (p, (&c, &lb2)) in tile.iter().zip(&self.lb2).enumerate() {
+            let reject = lb2 * margin > t2;
+            if !reject {
+                self.ids.push(c);
+                self.pos.push(p as u32);
+            }
+        }
+        (&self.ids, Some(&self.pos))
+    }
 }
 
 impl EuclideanSpace {
     /// Wraps a point set with the L2 metric, caching per-point squared
-    /// norms (one pass over the coordinates).
+    /// norms (one pass over the coordinates). The speed tier defaults to
+    /// the process-wide `KCENTER_SPEED` setting ([`SpeedTier::from_env`]).
     pub fn new(points: PointSet) -> Self {
         let dim = points.dim();
         let sq_norms = points
@@ -113,12 +250,54 @@ impl EuclideanSpace {
             .chunks(dim.max(1))
             .map(|row| row.iter().map(|x| x * x).sum())
             .collect();
-        Self { points, sq_norms }
+        Self {
+            points,
+            sq_norms,
+            tier: SpeedTier::from_env(),
+            soa: OnceLock::new(),
+            sketch: OnceLock::new(),
+        }
+    }
+
+    /// Overrides the speed tier for this space (builder-style). Tiers only
+    /// move cycles around — verdicts, and therefore every downstream
+    /// result, are bit-identical across tiers.
+    pub fn with_speed_tier(mut self, tier: SpeedTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// The speed tier this space's bulk kernels run at.
+    pub fn speed_tier(&self) -> SpeedTier {
+        self.tier
     }
 
     /// The underlying point set.
     pub fn points(&self) -> &PointSet {
         &self.points
+    }
+
+    /// Resolves the fast-path context for a bulk kernel call, building the
+    /// f32 mirror / sketch on first use. `None` when the tier is exact or
+    /// the rows are too narrow to benefit (below [`GRAM_MIN_DIM`] the
+    /// plain diff loop already wins — same gate as the f64 Gram path).
+    /// Kernels call this **before** any parallel fan-out so the lazy
+    /// builds run once, on the calling thread.
+    fn fast(&self) -> Option<Fast<'_>> {
+        let dim = self.points.dim();
+        if dim < GRAM_MIN_DIM || !self.tier.uses_soa() {
+            return None;
+        }
+        let soa = self.soa.get_or_init(|| SoaStorage::build(&self.points));
+        let sketch = self
+            .tier
+            .uses_sketch()
+            .then(|| self.sketch.get_or_init(|| Sketch::build(&self.points)));
+        Some(Fast {
+            soa,
+            sketch,
+            band_scale: f32_band_scale(dim),
+        })
     }
 
     /// Squared distance; cheaper than [`MetricSpace::dist`] when only
@@ -149,36 +328,6 @@ impl EuclideanSpace {
         acc
     }
 
-    /// Dot product with four independent accumulators. A single-accumulator
-    /// loop is a serial FP add chain the compiler must not reorder (adds
-    /// aren't associative), capping it at one add per cycle; splitting the
-    /// chain four ways lets it vectorize. The summation order differs from
-    /// a sequential fold, which is fine *here only*: the result feeds the
-    /// Gram **estimate**, whose error band already covers any
-    /// accumulation-order slack, never a returned distance. The order is a
-    /// fixed function of the slice, so determinism is untouched.
-    #[inline]
-    fn row_dot(a: &[f64], b: &[f64]) -> f64 {
-        #[cfg(target_arch = "x86_64")]
-        if simd::avx_available() {
-            // SAFETY: gated on runtime AVX2+FMA detection.
-            return unsafe { simd::dot_avx2_fma(a, b) };
-        }
-        let split = a.len() & !3;
-        let mut acc = [0.0f64; 4];
-        for (ca, cb) in a[..split].chunks_exact(4).zip(b[..split].chunks_exact(4)) {
-            acc[0] += ca[0] * cb[0];
-            acc[1] += ca[1] * cb[1];
-            acc[2] += ca[2] * cb[2];
-            acc[3] += ca[3] * cb[3];
-        }
-        let mut dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-        for (x, y) in a[split..].iter().zip(&b[split..]) {
-            dot += x * y;
-        }
-        dot
-    }
-
     /// Tiled multi-query threshold scan: for each query in `qs`, decides
     /// every candidate against `t2 = τ²` and folds the per-candidate
     /// verdicts with `emit`. Candidates stream in [`tile_len`]-row tiles so
@@ -196,12 +345,18 @@ impl EuclideanSpace {
     /// — while the band (≈ ulp-scale, so re-computes are vanishingly rare
     /// on real data) keeps the fast path hot. Non-finite inputs fall into
     /// the band's "unclassified" branch and get the exact answer too.
+    ///
+    /// `emit` receives one call per (query, tile) with the tile's
+    /// candidate ids and their verdicts as parallel slices — per-tile
+    /// rather than per-pair, so counting consumers reduce the verdict
+    /// slice with an auto-vectorized filter instead of paying a closure
+    /// call and branch per candidate.
     fn scan_tiles<R: Default>(
         &self,
         qs: &[u32],
         candidates: &[u32],
         t2: f64,
-        mut emit: impl FnMut(&mut R, u32, bool),
+        mut emit: impl FnMut(&mut R, &[u32], &[bool]),
     ) -> Vec<R> {
         let dim = self.points.dim();
         let data = self.points.raw();
@@ -212,31 +367,87 @@ impl EuclideanSpace {
         // exactly, so overshooting the constant only costs speed.
         let band_scale = (4.0 * dim as f64 + 32.0) * f64::EPSILON;
         let gram = dim >= GRAM_MIN_DIM;
+        let fast = self.fast();
         let mut rows: Vec<R> = std::iter::repeat_with(R::default).take(qs.len()).collect();
-        for tile in candidates.chunks(tile_len(dim)) {
+        // Per-call scratch for the batched tile kernels (fast/Gram paths).
+        let mut sieve = SketchSieve::default();
+        let mut classes: Vec<u8> = Vec::new();
+        let mut dots64: Vec<f64> = Vec::new();
+        let mut verdicts: Vec<bool> = Vec::new();
+        for tile in candidates.chunks(tile_len(dim, if fast.is_some() { 4 } else { 8 })) {
             for (row, &q) in rows.iter_mut().zip(qs) {
+                if let Some(fast) = &fast {
+                    // SoA tiers: optional batched certified sketch rejects,
+                    // then one batched SIMD dot + banded classification
+                    // over the survivors — bit-identical verdicts.
+                    let fq = fast.query(q as usize, data, dim);
+                    let (surv, pos) =
+                        fast.classify_tile(&fq, &mut sieve, &mut classes, tile, t2, dim);
+                    match pos {
+                        // No sketch: survivors are the whole tile. Bulk
+                        // keep/reject translation (vectorizable byte
+                        // compare), then exact fallbacks only if the tile
+                        // had any band hit (`contains` is a SIMD scan).
+                        None => {
+                            verdicts.clear();
+                            verdicts.extend(classes.iter().map(|&cl| cl == simd::CLASS_KEEP));
+                            if classes.contains(&simd::CLASS_EXACT) {
+                                for ((v, &cl), &c) in verdicts.iter_mut().zip(&classes).zip(surv) {
+                                    if cl == simd::CLASS_EXACT {
+                                        *v = Fast::resolve(&fq, c as usize, cl, t2, data, dim);
+                                    }
+                                }
+                            }
+                            emit(row, surv, &verdicts);
+                        }
+                        // Sketched: scatter survivor verdicts over the
+                        // tile (rejects stay `false`), then emit in order.
+                        Some(pos) => {
+                            verdicts.clear();
+                            verdicts.resize(tile.len(), false);
+                            for (k, (&c, &cl)) in surv.iter().zip(&classes).enumerate() {
+                                verdicts[pos[k] as usize] =
+                                    Fast::resolve(&fq, c as usize, cl, t2, data, dim);
+                            }
+                            emit(row, tile, &verdicts);
+                        }
+                    }
+                    continue;
+                }
                 let a = &data[q as usize * dim..q as usize * dim + dim];
                 let na = norms[q as usize];
-                for &c in tile {
-                    let b = &data[c as usize * dim..c as usize * dim + dim];
-                    let keep = if gram {
+                if gram {
+                    // One batched f64-dot call per (query, tile): the
+                    // per-pair dispatch cannot inline the SIMD kernel, and
+                    // its call + horizontal-sum overhead rivals the dot
+                    // itself at d≈32.
+                    dots64.resize(tile.len(), 0.0);
+                    simd::dots_f64_indexed(a, data, dim, tile, &mut dots64);
+                    verdicts.clear();
+                    verdicts.extend(tile.iter().zip(&dots64).map(|(&c, &dot)| {
                         let nb = norms[c as usize];
-                        let g = na + nb - 2.0 * Self::row_dot(a, b);
+                        let g = na + nb - 2.0 * dot;
                         let band = band_scale * (na + nb + t2);
                         if g <= t2 - band {
                             true
                         } else if g > t2 + band {
                             false
                         } else {
+                            let b = &data[c as usize * dim..c as usize * dim + dim];
                             Self::row_dist_sq(a, b) <= t2
                         }
-                    } else {
-                        // Narrow rows: the diff evaluation is as cheap as
-                        // the dot product and needs no band — the tiles
-                        // still deliver the cache reuse.
+                    }));
+                    emit(row, tile, &verdicts);
+                } else {
+                    // Narrow rows: the diff evaluation is as cheap as
+                    // the dot product and needs no band — the tiles
+                    // still deliver the cache reuse.
+                    verdicts.clear();
+                    verdicts.extend(tile.iter().map(|&c| {
+                        let b = &data[c as usize * dim..c as usize * dim + dim];
                         Self::row_dist_sq(a, b) <= t2
-                    };
-                    emit(row, c, keep);
+                    }));
+                    emit(row, tile, &verdicts);
                 }
             }
         }
@@ -256,8 +467,8 @@ impl EuclideanSpace {
     /// the first admitting rung fully describes all of them.
     fn scan_rungs(
         &self,
-        a: &[f64],
-        na: f64,
+        fast: Option<&Fast<'_>>,
+        v: u32,
         chunk: &[u32],
         t2s: &[f64],
         mut emit: impl FnMut(u32, usize),
@@ -265,41 +476,95 @@ impl EuclideanSpace {
         let dim = self.points.dim();
         let data = self.points.raw();
         let norms = &self.sq_norms;
+        let a = &data[v as usize * dim..(v as usize + 1) * dim];
+        let na = norms[v as usize];
         let band_scale = (4.0 * dim as f64 + 32.0) * f64::EPSILON;
         let gram = dim >= GRAM_MIN_DIM;
-        for &c in chunk {
-            let b = &data[c as usize * dim..c as usize * dim + dim];
-            if gram {
-                let nb = norms[c as usize];
-                let g = na + nb - 2.0 * Self::row_dot(a, b);
-                let mut exact = f64::NAN;
-                let mut have_exact = false;
-                for (j, &t2) in t2s.iter().enumerate() {
-                    let band = band_scale * (na + nb + t2);
-                    let keep = if g <= t2 - band {
-                        true
-                    } else if g > t2 + band {
-                        false
-                    } else {
-                        if !have_exact {
-                            exact = Self::row_dist_sq(a, b);
-                            have_exact = true;
+        if let Some(fast) = fast {
+            // SoA tiers: norms and the f32 dot are computed once per pair
+            // (batched per sub-tile) and re-judged against each rung's own
+            // f32 band; band hits compute the exact distance lazily,
+            // exactly like the f64 path below. The sketch short-circuits
+            // only when it certifies rejection at the *largest* rung —
+            // then no rung admits, so skipping the pair changes nothing.
+            let fq = fast.query(v as usize, data, dim);
+            let top = *t2s.last().expect("scan_rungs requires rungs");
+            let soa = fast.soa;
+            let mut sieve = SketchSieve::default();
+            let mut dots32: Vec<f32> = Vec::new();
+            for tile in chunk.chunks(tile_len(dim, 4)) {
+                let (surv, _) = sieve.prefilter(fast, &fq, tile, top);
+                dots32.resize(surv.len(), 0.0);
+                simd::dots_f32_indexed(fq.a32, soa.raw(), dim, surv, &mut dots32);
+                for (&c, &dot) in surv.iter().zip(&dots32) {
+                    let nb = soa.norm(c as usize) as f64;
+                    let est = fq.na32 + nb - 2.0 * dot as f64;
+                    let mut exact = f64::NAN;
+                    let mut have_exact = false;
+                    for (j, &t2) in t2s.iter().enumerate() {
+                        let band = fast.band_scale * (fq.na32 + nb + t2);
+                        let keep = if est <= t2 - band {
+                            true
+                        } else if est > t2 + band {
+                            false
+                        } else {
+                            if !have_exact {
+                                let b = &data[c as usize * dim..c as usize * dim + dim];
+                                exact = Self::row_dist_sq(a, b);
+                                have_exact = true;
+                            }
+                            exact <= t2
+                        };
+                        if keep {
+                            emit(c, j);
+                            break;
                         }
-                        exact <= t2
-                    };
-                    if keep {
-                        emit(c, j);
-                        break;
                     }
                 }
-            } else {
-                let ds = Self::row_dist_sq(a, b);
-                // First rung with t2 >= ds, i.e. ds <= t2 — the scalar
-                // verdict. `!(ds <= last)` also sheds NaN distances, which
-                // no rung admits.
-                if t2s.last().is_some_and(|&last| ds <= last) {
-                    emit(c, t2s.partition_point(|&t2| t2 < ds));
+            }
+            return;
+        }
+        if gram {
+            let mut dots64: Vec<f64> = Vec::new();
+            for tile in chunk.chunks(tile_len(dim, 8)) {
+                dots64.resize(tile.len(), 0.0);
+                simd::dots_f64_indexed(a, data, dim, tile, &mut dots64);
+                for (&c, &dot) in tile.iter().zip(&dots64) {
+                    let nb = norms[c as usize];
+                    let g = na + nb - 2.0 * dot;
+                    let mut exact = f64::NAN;
+                    let mut have_exact = false;
+                    for (j, &t2) in t2s.iter().enumerate() {
+                        let band = band_scale * (na + nb + t2);
+                        let keep = if g <= t2 - band {
+                            true
+                        } else if g > t2 + band {
+                            false
+                        } else {
+                            if !have_exact {
+                                let b = &data[c as usize * dim..c as usize * dim + dim];
+                                exact = Self::row_dist_sq(a, b);
+                                have_exact = true;
+                            }
+                            exact <= t2
+                        };
+                        if keep {
+                            emit(c, j);
+                            break;
+                        }
+                    }
                 }
+            }
+            return;
+        }
+        for &c in chunk {
+            let b = &data[c as usize * dim..c as usize * dim + dim];
+            let ds = Self::row_dist_sq(a, b);
+            // First rung with t2 >= ds, i.e. ds <= t2 — the scalar
+            // verdict. `!(ds <= last)` also sheds NaN distances, which
+            // no rung admits.
+            if t2s.last().is_some_and(|&last| ds <= last) {
+                emit(c, t2s.partition_point(|&t2| t2 < ds));
             }
         }
     }
@@ -353,7 +618,32 @@ impl MetricSpace for EuclideanSpace {
         let dim = self.points.dim();
         let data = self.points.raw();
         let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
+        let fast = self.fast();
         let scan = |chunk: &[u32]| {
+            if let Some(fast) = &fast {
+                let fq = fast.query(v.idx(), data, dim);
+                let mut sieve = SketchSieve::default();
+                let mut classes: Vec<u8> = Vec::new();
+                let mut count = 0usize;
+                for tile in chunk.chunks(tile_len(dim, 4)) {
+                    let (surv, _) =
+                        fast.classify_tile(&fq, &mut sieve, &mut classes, tile, t2, dim);
+                    // Bulk keep count (vectorized byte compare); band hits
+                    // are resolved exactly only when the tile has any.
+                    count += classes.iter().filter(|&&cl| cl == simd::CLASS_KEEP).count();
+                    if classes.contains(&simd::CLASS_EXACT) {
+                        count += surv
+                            .iter()
+                            .zip(&classes)
+                            .filter(|&(&c, &cl)| {
+                                cl == simd::CLASS_EXACT
+                                    && Fast::resolve(&fq, c as usize, cl, t2, data, dim)
+                            })
+                            .count();
+                    }
+                }
+                return count;
+            }
             chunk
                 .iter()
                 .filter(|&&c| {
@@ -382,16 +672,35 @@ impl MetricSpace for EuclideanSpace {
         let dim = self.points.dim();
         let data = self.points.raw();
         let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
-        let keep = |c: u32| {
-            let b = &data[c as usize * dim..c as usize * dim + dim];
-            Self::row_dist_sq(a, b) <= t2
+        let fast = self.fast();
+        let filter_chunk = |chunk: &[u32]| -> Vec<u32> {
+            if let Some(fast) = &fast {
+                let fq = fast.query(v.idx(), data, dim);
+                let mut sieve = SketchSieve::default();
+                let mut classes: Vec<u8> = Vec::new();
+                let mut out = Vec::new();
+                for tile in chunk.chunks(tile_len(dim, 4)) {
+                    let (surv, _) =
+                        fast.classify_tile(&fq, &mut sieve, &mut classes, tile, t2, dim);
+                    out.extend(surv.iter().zip(&classes).filter_map(|(&c, &cl)| {
+                        Fast::resolve(&fq, c as usize, cl, t2, data, dim).then_some(c)
+                    }));
+                }
+                return out;
+            }
+            chunk
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let b = &data[c as usize * dim..c as usize * dim + dim];
+                    Self::row_dist_sq(a, b) <= t2
+                })
+                .collect()
         };
         if space::par_bulk_weighted(candidates.len(), dim) {
-            space::par_filter_chunks_weighted(candidates, dim, out, |chunk| {
-                chunk.iter().copied().filter(|&c| keep(c)).collect()
-            });
+            space::par_filter_chunks_weighted(candidates, dim, out, filter_chunk);
         } else {
-            out.extend(candidates.iter().copied().filter(|&c| keep(c)));
+            out.extend(filter_chunk(candidates));
         }
     }
 
@@ -406,8 +715,8 @@ impl MetricSpace for EuclideanSpace {
         }
         let t2 = tau * tau;
         let run = |qs: &[u32]| {
-            self.scan_tiles(qs, candidates, t2, |count: &mut usize, _, keep| {
-                *count += keep as usize;
+            self.scan_tiles(qs, candidates, t2, |count: &mut usize, _, verdicts| {
+                *count += verdicts.iter().filter(|&&keep| keep).count();
             })
         };
         if space::par_bulk_pairs(vs.len(), candidates.len()) {
@@ -427,10 +736,12 @@ impl MetricSpace for EuclideanSpace {
         }
         let t2 = tau * tau;
         let run = |qs: &[u32]| {
-            self.scan_tiles(qs, candidates, t2, |row: &mut Vec<u32>, c, keep| {
-                if keep {
-                    row.push(c);
-                }
+            self.scan_tiles(qs, candidates, t2, |row: &mut Vec<u32>, tile, verdicts| {
+                row.extend(
+                    tile.iter()
+                        .zip(verdicts)
+                        .filter_map(|(&c, &keep)| keep.then_some(c)),
+                );
             })
         };
         if space::par_bulk_pairs(vs.len(), candidates.len()) {
@@ -452,12 +763,10 @@ impl MetricSpace for EuclideanSpace {
             return counts;
         }
         let dim = self.points.dim();
-        let data = self.points.raw();
-        let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
-        let na = self.sq_norms[v.idx()];
+        let fast = self.fast();
         let scan = |chunk: &[u32]| -> Vec<usize> {
             let mut entry_counts = vec![0usize; t2s.len()];
-            self.scan_rungs(a, na, chunk, &t2s, |_, j| entry_counts[j] += 1);
+            self.scan_rungs(fast.as_ref(), v.0, chunk, &t2s, |_, j| entry_counts[j] += 1);
             entry_counts
         };
         let entry_counts = if space::par_bulk_weighted(candidates.len(), dim * t2s.len()) {
@@ -495,12 +804,12 @@ impl MetricSpace for EuclideanSpace {
             return vec![Vec::new(); taus.len()];
         }
         let dim = self.points.dim();
-        let data = self.points.raw();
-        let a = &data[v.idx() * dim..(v.idx() + 1) * dim];
-        let na = self.sq_norms[v.idx()];
+        let fast = self.fast();
         let scan = |chunk: &[u32]| -> Vec<(u32, u32)> {
             let mut entries = Vec::new();
-            self.scan_rungs(a, na, chunk, &t2s, |c, j| entries.push((c, j as u32)));
+            self.scan_rungs(fast.as_ref(), v.0, chunk, &t2s, |c, j| {
+                entries.push((c, j as u32))
+            });
             entries
         };
         let entries: Vec<(u32, u32)> =

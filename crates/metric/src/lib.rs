@@ -30,6 +30,9 @@ pub mod jaccard;
 pub mod matrix;
 pub mod minkowski;
 pub mod point;
+pub mod simd;
+pub mod sketch;
+pub mod soa;
 pub mod space;
 pub mod validate;
 
@@ -43,6 +46,7 @@ pub use jaccard::JaccardSpace;
 pub use matrix::MatrixSpace;
 pub use minkowski::{ChebyshevSpace, ManhattanSpace};
 pub use point::{PointId, PointSet};
+pub use soa::SpeedTier;
 pub use space::{
     dist_point_to_set, dist_set_to_set, min_pairwise_distance, par_bulk, par_bulk_pairs,
     par_bulk_weighted, par_chunk_size, par_chunk_size_weighted, par_count_chunks,

@@ -1,0 +1,419 @@
+//! Hamming-sketch τ-prefilter with a **certified** distance lower bound.
+//!
+//! The classic signed-random-projection sketch gives a *probabilistic*
+//! Hamming/τ relation — useless here, because the speed-tier contract is
+//! bit-identical verdicts, so a prefilter may only reject a candidate when
+//! the rejection is provable. This module builds a sketch whose popcount
+//! Hamming distance yields a deterministic **lower bound** on the true
+//! squared distance; a pair is skipped only when that bound alone proves
+//! `dist² > τ²`, i.e. exactly when the exact kernel would have rejected it
+//! anyway. Uncertain pairs always go on to the estimate/exact path.
+//!
+//! ## Construction
+//!
+//! * `m = min(dim, 4)` random directions are drawn from a ChaCha8 stream
+//!   seeded by the point-set shape (deterministic; independent of threads
+//!   and call order), Gram–Schmidt-orthonormalized in f64, then deflated by
+//!   `(1 − 1e-6)`. A build-time check verifies `‖UUᵀ − I‖∞ ≤ 1e-9`; with
+//!   Gershgorin this certifies `λ_max(UUᵀ) < 1` after deflation, so
+//!   **Bessel's inequality holds with certainty**:
+//!   `Σ_j ⟨x−y, û_j⟩² ≤ ‖x−y‖²` for every pair. (If the check ever fails,
+//!   the sketch silently disables itself — soundness over speed.)
+//! * Each point stores, per direction, a 64-bit **thermometer code** of its
+//!   quantized projection: the projection range `[min_j, max_j]` observed
+//!   over the dataset splits into 64 buckets of width `w_j`, and level
+//!   `b ∈ [0, 64]` is encoded as `b` one-bits. ≤ 256 bits per point.
+//! * XOR + popcount of two thermometer limbs is exactly `|b₁ − b₂|`, so
+//!   one popcount per direction recovers the level gap `h_j`.
+//!
+//! ## The certified bound
+//!
+//! Two projections whose levels differ by `h_j` are at least
+//! `(h_j − 1)·w_j` apart — up to the floating-point error in computing the
+//! projections and bucket indices. That error is bounded *at build time*
+//! per direction (via the maximum absolute-value projection `Σ_k|x_k u_jk|`
+//! and the range magnitudes) and converted to an integer level slack `s_j`;
+//! the per-pair certificate is then
+//!
+//! ```text
+//! |⟨x−y, û_j⟩| ≥ max(h_j − (1 + 2·s_j), 0) · w_j⁻   (w_j⁻ = w_j·(1−1e-9))
+//! LB² = Σ_j (…)² ≤ ‖x−y‖²  (Bessel)
+//! ```
+//!
+//! and the kernel's own evaluation `fl(dist²)` undershoots the true value
+//! by at most a relative `(d+2)·ε`, so `LB²·(1 − (d+16)·ε) > τ²` implies
+//! `fl(dist²) > τ²` with certainty — the exact kernel's verdict. Every
+//! constant above is deliberately generous: slack overshoot only shrinks
+//! the set of certified rejections (more exact work), never correctness.
+//! Non-finite data degrades the same way — an infinite or NaN projection
+//! kills its direction's weight at build time, and a pair containing a
+//! non-finite point has `fl(dist²)` NaN or +∞, which the exact kernel
+//! rejects too, so any verdict the sketch emits for it is vacuously right.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::point::PointSet;
+
+/// Thermometer levels per direction: 64 one-bit steps in a single `u64`
+/// limb (levels `0..=64`).
+const LEVELS: u32 = 64;
+
+/// Maximum number of projection directions (× 64 bits = 256-bit sketch).
+const MAX_DIRS: usize = 4;
+
+/// Direction deflation factor; dwarfs the certified `1e-9` orthonormality
+/// defect so Bessel's inequality survives floating point.
+const DEFLATE: f64 = 1.0 - 1e-6;
+
+/// Per-point Hamming sketch storage for one [`PointSet`].
+#[derive(Debug, Clone)]
+pub struct Sketch {
+    /// Directions per point; `limbs[p*m + j]` is point `p`'s thermometer
+    /// limb for direction `j`.
+    m: usize,
+    limbs: Vec<u64>,
+    /// `(w_j·(1−1e-9))²` per direction; `0.0` for dead directions (zero
+    /// range, non-finite data, failed certification, oversized slack).
+    w_lo_sq: Vec<f64>,
+    /// `1 + 2·s_j` per direction: levels of gap consumed by quantization
+    /// (−1) and the two endpoints' floating-point slack (±s_j each).
+    pad: Vec<u32>,
+    /// `1 − (d+16)·ε`: shrinks LB² so it certifies against the kernel's
+    /// *floating-point* `dist²`, not just the true one.
+    margin: f64,
+}
+
+/// One standard-normal draw via Box–Muller (same construction as
+/// `datasets`, kept local so the sketch seed stream is self-contained).
+fn gaussian(rng: &mut impl RngExt) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Thermometer code of level `v ∈ 0..=64`: `v` one-bits.
+#[inline]
+fn thermometer(v: u32) -> u64 {
+    if v >= LEVELS {
+        u64::MAX
+    } else {
+        (1u64 << v) - 1
+    }
+}
+
+impl Sketch {
+    /// Builds the sketch for `points`. Deterministic: the direction stream
+    /// is seeded from the point-set shape, and every fold runs in index
+    /// order on one thread — bit-identical across runs and thread counts.
+    pub fn build(points: &PointSet) -> Sketch {
+        let dim = points.dim();
+        let n = points.len();
+        let m = dim.min(MAX_DIRS);
+        let margin = 1.0 - (dim as f64 + 16.0) * f64::EPSILON;
+        let dead = |m: usize| Sketch {
+            m,
+            limbs: vec![0; n * m],
+            w_lo_sq: vec![0.0; m],
+            pad: vec![0; m],
+            margin,
+        };
+        if m == 0 || n == 0 {
+            return dead(m);
+        }
+
+        // Draw and Gram–Schmidt-orthonormalize m unit directions in f64.
+        let seed = 0x5EED_C0DE_u64 ^ (dim as u64) << 32 ^ n as u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut dirs: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut v: Vec<f64> = (0..dim).map(|_| gaussian(&mut rng)).collect();
+            for u in &dirs {
+                let c = dot(&v, u);
+                for (vi, ui) in v.iter_mut().zip(u) {
+                    *vi -= c * ui;
+                }
+            }
+            let norm = dot(&v, &v).sqrt();
+            if !norm.is_finite() || norm <= 1e-9 {
+                return dead(m); // degenerate draw: disable, stay sound
+            }
+            for vi in &mut v {
+                *vi /= norm;
+            }
+            dirs.push(v);
+        }
+        // Certify near-orthonormality: `‖UUᵀ − I‖∞ ≤ 1e-9` ⇒ by
+        // Gershgorin `λ_max(UUᵀ) ≤ 1 + m·1e-9`, so after the `DEFLATE`
+        // scaling below `λ_max < 1` — which is all Bessel needs.
+        for (i, u) in dirs.iter().enumerate() {
+            for (j, v) in dirs.iter().enumerate() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                if (dot(u, v) - want).abs() > 1e-9 {
+                    return dead(m);
+                }
+            }
+        }
+        for u in &mut dirs {
+            for ui in u.iter_mut() {
+                *ui *= DEFLATE;
+            }
+        }
+
+        // Project every point; track per-direction min/max and the largest
+        // absolute-value projection (the fp-error scale).
+        let mut proj = vec![0.0f64; n * m];
+        let mut lo = vec![f64::INFINITY; m];
+        let mut hi = vec![f64::NEG_INFINITY; m];
+        let mut abs_max = vec![0.0f64; m];
+        for p in 0..n {
+            let row = &points.raw()[p * dim..(p + 1) * dim];
+            for (j, u) in dirs.iter().enumerate() {
+                let v = dot(row, u);
+                let a: f64 = row.iter().zip(u).map(|(x, y)| (x * y).abs()).sum();
+                proj[p * m + j] = v;
+                // f64::min/max shed NaN: a NaN projection (NaN coordinate)
+                // simply doesn't move the range — see the module docs for
+                // why pairs containing such points stay sound.
+                lo[j] = lo[j].min(v);
+                hi[j] = hi[j].max(v);
+                abs_max[j] = abs_max[j].max(a);
+            }
+        }
+
+        // Bucket widths, fp slack in integer levels, per-direction weights.
+        let mut w = vec![0.0f64; m];
+        let mut w_lo_sq = vec![0.0f64; m];
+        let mut pad = vec![0u32; m];
+        for j in 0..m {
+            let range = hi[j] - lo[j];
+            if !range.is_finite() || range <= 0.0 {
+                continue; // dead: zero spread or non-finite data
+            }
+            w[j] = range / LEVELS as f64;
+            // Value-space slack per endpoint: projection fold error
+            // ((d+8)·ε·Σ|x_k u_k|) plus bucketing arithmetic error
+            // (4·ε·(range + |lo| + |hi|)); generous on both counts.
+            let dev = (dim as f64 + 8.0) * f64::EPSILON * abs_max[j]
+                + 4.0 * f64::EPSILON * (range + lo[j].abs() + hi[j].abs());
+            let slack = (dev / w[j]).ceil() as u32 + 1;
+            let p = 1 + 2 * slack;
+            if p >= LEVELS {
+                continue; // dead: slack eats the whole level span
+            }
+            let w_lo = w[j] * (1.0 - 1e-9);
+            w_lo_sq[j] = w_lo * w_lo;
+            pad[j] = p;
+        }
+
+        // Thermometer-encode the quantized levels.
+        let mut limbs = vec![0u64; n * m];
+        for p in 0..n {
+            for j in 0..m {
+                if w_lo_sq[j] == 0.0 {
+                    continue; // dead direction: limb 0 for everyone
+                }
+                let t = (proj[p * m + j] - lo[j]) / w[j];
+                // NaN → 0.0 via clamp-then-cast saturation; fine, because
+                // such a point never survives an exact verdict either.
+                let level = t.clamp(0.0, LEVELS as f64) as u32;
+                limbs[p * m + j] = thermometer(level);
+            }
+        }
+        Sketch {
+            m,
+            limbs,
+            w_lo_sq,
+            pad,
+            margin,
+        }
+    }
+
+    /// Point `i`'s sketch limbs (one per direction).
+    #[inline]
+    pub fn limbs(&self, i: usize) -> &[u64] {
+        &self.limbs[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Certified lower bound on the *true* squared distance between the
+    /// two sketched points, from popcount Hamming gaps alone.
+    #[inline]
+    pub fn lower_bound_sq(&self, a: &[u64], b: &[u64]) -> f64 {
+        let mut lb2 = 0.0;
+        for j in 0..self.m {
+            let h = (a[j] ^ b[j]).count_ones();
+            let g = h.saturating_sub(self.pad[j]);
+            lb2 += (g * g) as f64 * self.w_lo_sq[j];
+        }
+        lb2
+    }
+
+    /// `true` iff the sketch alone **proves** the exact kernel would
+    /// reject this pair at squared threshold `t2` — i.e. that
+    /// `fl(dist²) > t2`. May only rule pairs *out*; a `false` means
+    /// "unknown", never "within".
+    #[inline]
+    pub fn certified_reject(&self, a: &[u64], b: &[u64], t2: f64) -> bool {
+        self.lower_bound_sq(a, b) * self.margin > t2
+    }
+
+    /// Batched [`Sketch::lower_bound_sq`] for one query against a tile of
+    /// candidate ids: `out[i] = lower_bound_sq(q, limbs(idx[i]))`, computed
+    /// by the POPCNT-dispatched tile kernel ([`crate::simd`]) — one call
+    /// frame per tile instead of per pair. `q` is the query's own limb row
+    /// (from [`Sketch::limbs`]).
+    #[inline]
+    pub fn lower_bounds_sq_indexed(&self, q: &[u64], idx: &[u32], out: &mut [f64]) {
+        crate::simd::sketch_lb2_indexed(q, &self.limbs, self.m, idx, &self.pad, &self.w_lo_sq, out);
+    }
+
+    /// The soundness multiplier a caller applies to a lower bound before
+    /// comparing with `t2` (covers the exact kernel's own `fl(dist²)`
+    /// undershoot): reject iff `lb2 * margin() > t2` — exactly
+    /// [`Sketch::certified_reject`]'s predicate.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// Number of projection directions (64 bits each).
+    #[inline]
+    pub fn dirs(&self) -> usize {
+        self.m
+    }
+
+    /// Directions that can actually certify rejections (non-zero weight).
+    pub fn live_dirs(&self) -> usize {
+        self.w_lo_sq.iter().filter(|&&w| w > 0.0).count()
+    }
+
+    /// Sketch width per point, in bits.
+    pub fn bits_per_point(&self) -> usize {
+        self.m * 64
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.limbs.len() * 8 + self.m * (8 + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    fn exact_d2(ps: &PointSet, a: usize, b: usize) -> f64 {
+        let dim = ps.dim();
+        let ra = &ps.raw()[a * dim..(a + 1) * dim];
+        let rb = &ps.raw()[b * dim..(b + 1) * dim];
+        ra.iter()
+            .zip(rb)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+    }
+
+    #[test]
+    fn thermometer_popcount_is_level_gap() {
+        for a in 0..=LEVELS {
+            for b in 0..=LEVELS {
+                let h = (thermometer(a) ^ thermometer(b)).count_ones();
+                assert_eq!(h, a.abs_diff(b));
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_exact_distance() {
+        // The whole soundness claim, brute-forced: LB² ≤ fl(dist²) on
+        // every pair of several shaped datasets.
+        for (ps, tag) in [
+            (datasets::uniform_cube(160, 24, 11), "cube"),
+            (datasets::gaussian_clusters(160, 32, 5, 0.05, 13), "gauss"),
+            (datasets::uniform_cube(80, 3, 7), "lowdim"),
+        ] {
+            let sk = Sketch::build(&ps);
+            assert!(sk.live_dirs() > 0, "{tag}: sketch should be live");
+            for a in 0..ps.len() {
+                for b in 0..ps.len() {
+                    let lb2 = sk.lower_bound_sq(sk.limbs(a), sk.limbs(b)) * sk.margin;
+                    let d2 = exact_d2(&ps, a, b);
+                    assert!(
+                        lb2 <= d2
+                            || sk.certified_reject(sk.limbs(a), sk.limbs(b), d2) == (lb2 > d2),
+                        "{tag}: pair ({a},{b}) lb2={lb2} d2={d2}"
+                    );
+                    assert!(lb2 <= d2, "{tag}: pair ({a},{b}) lb2={lb2} > d2={d2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_are_consistent_with_exact_verdicts() {
+        let ps = datasets::gaussian_clusters(200, 32, 6, 0.03, 99);
+        let sk = Sketch::build(&ps);
+        // τ chosen near typical inter-cluster gaps so both verdicts occur.
+        for tau in [0.05, 0.2, 0.5, 1.0, 2.0] {
+            let t2 = tau * tau;
+            let mut rejected = 0usize;
+            for a in 0..ps.len() {
+                for b in 0..ps.len() {
+                    if sk.certified_reject(sk.limbs(a), sk.limbs(b), t2) {
+                        rejected += 1;
+                        assert!(exact_d2(&ps, a, b) > t2, "false reject at tau={tau}");
+                    }
+                }
+            }
+            if tau <= 0.2 {
+                assert!(rejected > 0, "sketch should prune something at tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let ps = datasets::uniform_cube(120, 16, 5);
+        let a = Sketch::build(&ps);
+        let b = Sketch::build(&ps);
+        assert_eq!(a.limbs, b.limbs);
+        assert_eq!(a.pad, b.pad);
+        assert_eq!(
+            a.w_lo_sq.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            b.w_lo_sq.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_disable_cleanly() {
+        // Zero spread: every projection identical → dead directions, no
+        // rejects ever.
+        let ps = PointSet::from_rows(&vec![vec![1.0; 8]; 10]);
+        let sk = Sketch::build(&ps);
+        assert_eq!(sk.live_dirs(), 0);
+        assert!(!sk.certified_reject(sk.limbs(0), sk.limbs(1), 0.0));
+
+        // Non-finite coordinates: directions touched by ±∞ die; pairs with
+        // the poisoned point would be exact-rejected anyway.
+        let mut rows = vec![vec![0.5; 8]; 12];
+        rows[3][2] = f64::INFINITY;
+        let ps = PointSet::from_rows(&rows);
+        let sk = Sketch::build(&ps);
+        for a in 0..ps.len() {
+            for b in 0..ps.len() {
+                if sk.certified_reject(sk.limbs(a), sk.limbs(b), 1e9) {
+                    let d2 = exact_d2(&ps, a, b);
+                    assert!(d2 > 1e9 || d2.is_nan());
+                }
+            }
+        }
+
+        // n = 0 (PointSet guarantees dim ≥ 1) must not panic.
+        let sk = Sketch::build(&PointSet::new(Vec::new(), 5));
+        assert!(!sk.certified_reject(&[0; 4], &[0; 4], 0.0));
+    }
+}

@@ -1,0 +1,272 @@
+//! Speed tiers and the f32 SoA mirror for [`crate::EuclideanSpace`].
+//!
+//! The paper's Alg 3–5 cost model counts distance *evaluations*; PR 2–5
+//! attacked the number of exact evaluations (batching, Gram tiles, the
+//! τ-sweep ladder). This module attacks the cost of each remaining
+//! evaluation: an opt-in f32 copy of the points whose 8–16-lane FMA dot is
+//! 2–4× cheaper than the f64 one and whose rows move half the memory.
+//!
+//! Exactness discipline (same as the PR-4 Gram band): the f32 estimate of a
+//! squared distance decides a `dist² ≤ τ²` verdict **only when it clears a
+//! conservative error band** around τ²; every pair inside the band is
+//! re-decided with the exact f64 evaluation. Threshold verdicts — and hence
+//! centers, radii, rounds, and ledgers — stay bit-identical to the exact
+//! tier on every host. Distance-*returning* paths (`dist`, `dists_into`,
+//! memo fills, GMM radii) never consult the mirror.
+//!
+//! ## f32 error band
+//!
+//! For the f32 Gram estimate `g = na32 + nb32 − 2·dot32(a32, b32)` (widened
+//! to f64 for the final combine) against the exact `‖a − b‖²`, the error
+//! sources are (ε = `f32::EPSILON`, d = dimension):
+//!
+//! * rounding each coordinate to f32: ≤ 2ε·(‖a‖² + ‖b‖²) over the row;
+//! * the f32 norm folds: ≤ (d + 2)·ε·(‖a‖² + ‖b‖²);
+//! * the f32 dot fold (FMA's fused rounding is strictly tighter than
+//!   mul-then-add): ≤ (d + 8)·ε·(‖a‖² + ‖b‖²)/2 via |aᵢbᵢ| ≤ (aᵢ²+bᵢ²)/2.
+//!
+//! Their sum is below `(2d + 16)·ε·(‖a‖² + ‖b‖²)`; the band used is
+//! `(4d + 32)·ε·(na + nb + τ²)` — the PR-4 constant with f32's ε — leaving
+//! ≥2× slack. Overshooting the band only costs speed (more exact
+//! fallbacks), never correctness. Overflow to `±inf` or NaN anywhere makes
+//! the band infinite or the comparisons false, so non-finite inputs always
+//! take the exact branch.
+//!
+//! ## Layout
+//!
+//! The mirror keeps **both** orientations of the f32 coordinates:
+//!
+//! * **row-major** (`rows`) for arbitrary candidate lists — round-robin
+//!   partitions and sketch survivors hand the kernels scattered id sets,
+//!   where dimension-major storage would gather every candidate across
+//!   `dim` cache lines;
+//! * **dimension-major** (`cols`, the transpose the issue sketched) for
+//!   *contiguous* candidate runs — the common case when a kernel scans all
+//!   of `0..n`. There the run kernel broadcasts one query coordinate and
+//!   FMA-accumulates eight consecutive candidates per register with **no
+//!   horizontal sums and no index gather**, which is the difference
+//!   between a load-port-bound and an FMA-throughput-bound loop.
+//!
+//! Both are derived from the same f64 truth in one pass; the duplication
+//! costs `4·n·d` extra bytes (half the f64 input) and buys the fastest
+//! kernel shape for each access pattern. See DESIGN.md §6.4.
+
+use std::sync::OnceLock;
+
+use crate::point::PointSet;
+
+/// How much estimation machinery the Euclidean bulk kernels may use.
+/// Verdicts are bit-identical at every tier; tiers only trade where the
+/// cycles go. Parsed from `KCENTER_SPEED` (default [`SpeedTier::Exact`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpeedTier {
+    /// f64 arithmetic only (the PR-4/PR-5 kernels, unchanged).
+    #[default]
+    Exact,
+    /// f32 SoA mirror + banded f32 estimates in the bulk threshold kernels.
+    Soa,
+    /// [`SpeedTier::Soa`] plus the Hamming sketch prefilter
+    /// ([`crate::sketch`]) in front of the estimate.
+    SoaSketch,
+}
+
+impl SpeedTier {
+    /// Parses a `KCENTER_SPEED` value. Unrecognized strings yield `None`.
+    pub fn parse(s: &str) -> Option<SpeedTier> {
+        match s.trim() {
+            "exact" => Some(SpeedTier::Exact),
+            "soa" => Some(SpeedTier::Soa),
+            "soa+sketch" | "sketch" => Some(SpeedTier::SoaSketch),
+            _ => None,
+        }
+    }
+
+    /// The process-default tier: `KCENTER_SPEED` if set and valid, else
+    /// [`SpeedTier::Exact`]. Read once and cached (mirrors
+    /// `KCENTER_THREADS` in the rayon shim); invalid values fall back to
+    /// `Exact`, matching the shim's lenient env handling.
+    pub fn from_env() -> SpeedTier {
+        static TIER: OnceLock<SpeedTier> = OnceLock::new();
+        *TIER.get_or_init(|| {
+            std::env::var("KCENTER_SPEED")
+                .ok()
+                .and_then(|s| SpeedTier::parse(&s))
+                .unwrap_or_default()
+        })
+    }
+
+    /// The `KCENTER_SPEED` spelling of this tier.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpeedTier::Exact => "exact",
+            SpeedTier::Soa => "soa",
+            SpeedTier::SoaSketch => "soa+sketch",
+        }
+    }
+
+    /// Whether this tier consults the f32 SoA mirror.
+    #[inline]
+    pub fn uses_soa(self) -> bool {
+        !matches!(self, SpeedTier::Exact)
+    }
+
+    /// Whether this tier consults the Hamming sketch prefilter.
+    #[inline]
+    pub fn uses_sketch(self) -> bool {
+        matches!(self, SpeedTier::SoaSketch)
+    }
+}
+
+/// Per-pair error band scale for the f32 Gram estimate (see the module
+/// docs): multiply by `na + nb + τ²` (in f64) to get the band width.
+#[inline]
+pub fn f32_band_scale(dim: usize) -> f64 {
+    (4.0 * dim as f64 + 32.0) * f32::EPSILON as f64
+}
+
+/// The f32 mirror: row-major f32 copies of the points plus f32 squared
+/// norms, both derived deterministically from the f64 truth (round-to-
+/// nearest conversion, fixed-order norm fold — no thread-count or call-
+/// order dependence). Built lazily on first bulk kernel call at a tier
+/// that uses it.
+#[derive(Debug, Clone)]
+pub struct SoaStorage {
+    rows: Vec<f32>,
+    /// The transpose of `rows`: `cols[d * n + i] = rows[i * dim + d]`.
+    /// Feeds the contiguous-run kernels (see the module docs on layout).
+    cols: Vec<f32>,
+    /// `norms[i] = ‖rows[i]‖²` accumulated in f32 — the same values the
+    /// estimate's error analysis assumes.
+    norms: Vec<f32>,
+    dim: usize,
+    n: usize,
+}
+
+impl SoaStorage {
+    /// Converts a point set's rows to f32 (both orientations) and folds
+    /// the f32 norms.
+    pub fn build(points: &PointSet) -> SoaStorage {
+        let dim = points.dim();
+        let rows: Vec<f32> = points.raw().iter().map(|&x| x as f32).collect();
+        let n = rows.len().checked_div(dim).unwrap_or(0);
+        let mut cols = vec![0.0f32; rows.len()];
+        for (i, row) in rows.chunks_exact(dim.max(1)).enumerate() {
+            for (d, &x) in row.iter().enumerate() {
+                cols[d * n + i] = x;
+            }
+        }
+        let norms = rows
+            .chunks(dim.max(1))
+            .map(|row| row.iter().map(|x| x * x).sum())
+            .collect();
+        SoaStorage {
+            rows,
+            cols,
+            norms,
+            dim,
+            n,
+        }
+    }
+
+    /// The flat row-major f32 coordinate buffer.
+    #[inline]
+    pub fn raw(&self) -> &[f32] {
+        &self.rows
+    }
+
+    /// The flat dimension-major f32 buffer: `cols()[d * len() + i]` is
+    /// coordinate `d` of point `i`.
+    #[inline]
+    pub fn cols(&self) -> &[f32] {
+        &self.cols
+    }
+
+    /// Number of mirrored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the mirror is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Row `i` as an f32 slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.rows[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// f32 squared norm of row `i`.
+    #[inline]
+    pub fn norm(&self, i: usize) -> f32 {
+        self.norms[i]
+    }
+
+    /// All f32 squared norms.
+    #[inline]
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
+    /// Approximate heap footprint in bytes (both orientations + norms).
+    pub fn bytes(&self) -> usize {
+        (self.rows.len() + self.cols.len() + self.norms.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_names() {
+        for tier in [SpeedTier::Exact, SpeedTier::Soa, SpeedTier::SoaSketch] {
+            assert_eq!(SpeedTier::parse(tier.name()), Some(tier));
+        }
+        assert_eq!(SpeedTier::parse(" soa "), Some(SpeedTier::Soa));
+        assert_eq!(SpeedTier::parse("warp9"), None);
+        assert_eq!(SpeedTier::default(), SpeedTier::Exact);
+    }
+
+    #[test]
+    fn tier_layer_gates() {
+        assert!(!SpeedTier::Exact.uses_soa() && !SpeedTier::Exact.uses_sketch());
+        assert!(SpeedTier::Soa.uses_soa() && !SpeedTier::Soa.uses_sketch());
+        assert!(SpeedTier::SoaSketch.uses_soa() && SpeedTier::SoaSketch.uses_sketch());
+    }
+
+    #[test]
+    fn storage_mirrors_rows_and_norms() {
+        let ps = PointSet::from_rows(&[vec![3.0, 4.0], vec![-1.5, 2.0]]);
+        let soa = SoaStorage::build(&ps);
+        assert_eq!(soa.row(0), &[3.0f32, 4.0]);
+        assert_eq!(soa.row(1), &[-1.5f32, 2.0]);
+        assert_eq!(soa.norm(0), 25.0);
+        assert_eq!(soa.norm(1), 6.25);
+        assert_eq!(soa.bytes(), (4 + 4 + 2) * 4);
+    }
+
+    #[test]
+    fn cols_is_the_transpose_of_rows() {
+        let ps = PointSet::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let soa = SoaStorage::build(&ps);
+        assert_eq!(soa.len(), 2);
+        assert!(!soa.is_empty());
+        // cols[d * n + i] == rows[i * dim + d]
+        assert_eq!(soa.cols(), &[1.0f32, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        for i in 0..2 {
+            for d in 0..3 {
+                assert_eq!(soa.cols()[d * 2 + i], soa.row(i)[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn band_scale_mirrors_pr4_constant_at_f32_epsilon() {
+        let s = f32_band_scale(32);
+        assert!((s - 160.0 * f32::EPSILON as f64).abs() < 1e-20);
+    }
+}

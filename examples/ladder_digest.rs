@@ -33,8 +33,16 @@ impl Fnv {
 }
 
 fn main() {
-    for (n, m, k, seed) in [(900usize, 4usize, 6usize, 42u64), (600, 8, 10, 7)] {
-        let space = EuclideanSpace::new(datasets::gaussian_clusters(n, 3, k, 0.05, seed));
+    // The dim=32 config matters for the speed tiers: wide rows engage the
+    // SoA/sketch fast paths (dim ≥ 16), so diffing this output across
+    // `KCENTER_SPEED` values actually exercises them; the dim=3 configs
+    // pin the narrow-row kernels.
+    for (n, dim, m, k, seed) in [
+        (900usize, 3usize, 4usize, 6usize, 42u64),
+        (600, 3, 8, 10, 7),
+        (700, 32, 4, 8, 21),
+    ] {
+        let space = EuclideanSpace::new(datasets::gaussian_clusters(n, dim, k, 0.05, seed));
         let params = Params::practical(m, 0.1, seed);
         for threads in [1usize, 2, 8] {
             let (res, ledger) = with_threads(threads, || {
@@ -51,7 +59,7 @@ fn main() {
                 }
             }
             println!(
-                "n={n} m={m} k={k} seed={seed} t={threads} centers={:?} \
+                "n={n} dim={dim} m={m} k={k} seed={seed} t={threads} centers={:?} \
                  radius={:016x} coarse_r={:016x} boundary={} rounds={} \
                  words={} peak_mem={} evals={} probes={} ledger_fnv={:016x}",
                 res.centers,
@@ -73,6 +81,22 @@ fn main() {
                 res.telemetry.phases.ladder_s,
                 res.telemetry.phases.finalize_s
             );
+            // Memo cache behavior per speed tier, also stderr-only: the
+            // counts are deterministic, but keeping stdout fixed to the
+            // ladder outputs is what lets CI diff digests across tiers.
+            if let Some(ms) = &res.telemetry.memo {
+                eprintln!(
+                    "  memo(t={threads} tier={}): hits={} misses={} flushes={} \
+                     sorted_rows={}/{} stored_bytes={}",
+                    space.speed_tier().name(),
+                    ms.hits,
+                    ms.misses,
+                    ms.flushes,
+                    ms.sorted_rows,
+                    ms.entries,
+                    ms.bytes()
+                );
+            }
         }
     }
 }

@@ -1,0 +1,45 @@
+//! Ad-hoc wall-clock breakdown of the SoA fast path's building blocks —
+//! not a benchmark (no harness, stderr only); used to attribute time
+//! between the SIMD tile kernels and the surrounding plumbing.
+
+use std::time::Instant;
+
+use mpc_clustering::metric::{datasets, EuclideanSpace, MetricSpace, SpeedTier};
+
+fn main() {
+    let n = 100_000usize;
+    let dim = 32usize;
+    let q = 1024usize;
+    let ps = datasets::uniform_cube(n, dim, 7);
+    let metric = EuclideanSpace::new(ps).with_speed_tier(SpeedTier::SoaSketch);
+    let tau = {
+        // Same quantile the bench uses.
+        let mut ds = Vec::new();
+        for i in 0..500u32 {
+            for j in (i + 1)..500 {
+                ds.push(metric.dist(
+                    mpc_clustering::metric::PointId(i),
+                    mpc_clustering::metric::PointId(j),
+                ));
+            }
+        }
+        ds.sort_by(f64::total_cmp);
+        ds[ds.len() / 5]
+    };
+    let candidates: Vec<u32> = (0..n as u32).collect();
+    let vs: Vec<u32> = (0..q).map(|i| (i * 7919 % n) as u32).collect();
+
+    // Reject-rate probe: how much work can the sketch actually skip here?
+    let soa_space =
+        EuclideanSpace::new(datasets::uniform_cube(n, dim, 7)).with_speed_tier(SpeedTier::Soa);
+    for (label, space) in [("soa", &soa_space), ("soa+sketch", &metric)] {
+        let t0 = Instant::now();
+        let counts = space.count_within_many(&vs, &candidates, tau);
+        let dt = t0.elapsed().as_secs_f64();
+        let total: usize = counts.iter().sum();
+        eprintln!(
+            "{label:11} tau={tau:.4} total_within={total} time={dt:.3}s ({:.2} ns/pair)",
+            dt * 1e9 / (n as f64 * q as f64)
+        );
+    }
+}
