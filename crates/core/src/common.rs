@@ -31,7 +31,11 @@ pub fn gmm_coreset<M: MetricSpace + ?Sized>(
 
 /// `r(X, Q) = max_{x ∈ X} d(x, Q)` where `X` is distributed as
 /// `local_sets`. Two rounds: broadcast `Q`, reduce the local maxima.
-/// Returns 0 when `X` is empty.
+/// Returns 0 when `X` is empty, and `f64::INFINITY` when `Q` is empty
+/// while `X` is not (each `d(x, ∅) = ∞`, per the
+/// [`dist_point_to_set`] empty-set contract) — callers that can produce
+/// an empty `Q`, like a serving index queried before its first insert,
+/// must branch on `X` first.
 pub fn covering_radius<M: MetricSpace + ?Sized>(
     cluster: &mut Cluster,
     metric: &M,
@@ -137,6 +141,24 @@ mod tests {
         let mut cluster = Cluster::new(2, 1);
         assert_eq!(
             covering_radius(&mut cluster, &metric, &[vec![], vec![]], &[0]),
+            0.0
+        );
+    }
+
+    /// The empty-`Q` side of the contract (ISSUE 7 satellite): an empty
+    /// center set covers nothing, so the radius over any non-empty `X`
+    /// is `∞` — a *defined* value callers can branch on, never a panic.
+    /// Both-empty stays the empty-`X` case (0).
+    #[test]
+    fn covering_radius_of_empty_center_set_is_infinite() {
+        let metric = line(&[0.0, 1.0, 2.0]);
+        let mut cluster = Cluster::new(2, 1);
+        assert_eq!(
+            covering_radius(&mut cluster, &metric, &[vec![0, 1], vec![2]], &[]),
+            f64::INFINITY
+        );
+        assert_eq!(
+            covering_radius(&mut cluster, &metric, &[vec![], vec![]], &[]),
             0.0
         );
     }

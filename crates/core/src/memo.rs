@@ -542,7 +542,7 @@ impl<M: MetricSpace + ?Sized> MetricSpace for MemoizedSpace<'_, M> {
         self.row(v, candidates).neighbors(candidates, tau, out)
     }
 
-    /// Answers the whole batch from [`MemoizedSpace::rows_many`]: cached
+    /// Answers the whole batch from `MemoizedSpace::rows_many`: cached
     /// rows answer via their sorted companion (a `partition_point`) or a
     /// direct scan, and the misses were filled in one batched pass instead
     /// of one fill per query.

@@ -119,7 +119,7 @@ impl Fast<'_> {
             simd::classify_f32_run(
                 fq.a32,
                 self.soa.cols(),
-                self.soa.len(),
+                self.soa.col_stride(),
                 self.soa.raw(),
                 self.soa.norms(),
                 dim,
@@ -275,6 +275,33 @@ impl EuclideanSpace {
     /// The underlying point set.
     pub fn points(&self) -> &PointSet {
         &self.points
+    }
+
+    /// Appends one point to the space in place, returning its id — the
+    /// serving-index insert path (`mpc-serving`). All derived state is
+    /// maintained incrementally, never rebuilt from scratch:
+    ///
+    /// * the f64 squared norm is folded in the same order as
+    ///   [`EuclideanSpace::new`]'s batch pass;
+    /// * a built f32 SoA mirror is **extended** via [`SoaStorage::push`]
+    ///   (amortized O(dim) — geometric lane re-striding), yielding values
+    ///   bit-identical to a from-scratch build over the extended set;
+    /// * a built Hamming sketch is invalidated and lazily rebuilt on the
+    ///   next sketch-tier kernel call: its thermometer quantization step
+    ///   is calibrated from the whole population, so per-point extension
+    ///   would drift from the deterministic batch construction that the
+    ///   certified-reject proof (and cross-tier digest CI) relies on.
+    ///
+    /// Verdicts after an insert remain bit-identical across speed tiers,
+    /// exactly as for batch-constructed spaces.
+    pub fn push_point(&mut self, coords: &[f64]) -> PointId {
+        let id = self.points.push(coords);
+        self.sq_norms.push(coords.iter().map(|x| x * x).sum());
+        if let Some(soa) = self.soa.get_mut() {
+            soa.push(coords);
+        }
+        self.sketch.take();
+        id
     }
 
     /// Resolves the fast-path context for a bulk kernel call, building the
@@ -704,7 +731,7 @@ impl MetricSpace for EuclideanSpace {
         }
     }
 
-    /// Tiled Gram-block kernel (see [`EuclideanSpace::scan_tiles`]). Large
+    /// Tiled Gram-block kernel (see `EuclideanSpace::scan_tiles`). Large
     /// query batches split into fixed query chunks across the worker pool;
     /// whole queries never straddle a chunk and rows concatenate in query
     /// order, so the output matches the sequential tile walk — which in
@@ -752,7 +779,7 @@ impl MetricSpace for EuclideanSpace {
     }
 
     /// Multi-τ kernel over one candidate pass (see
-    /// [`EuclideanSpace::scan_rungs`]): norms and the Gram dot product are
+    /// `EuclideanSpace::scan_rungs`): norms and the Gram dot product are
     /// computed once per pair and classified against every rung, instead of
     /// once per rung. Chunked counts combine by elementwise integer sums,
     /// so the parallel path equals the sequential scan exactly.

@@ -132,14 +132,21 @@ pub fn f32_band_scale(dim: usize) -> f64 {
 #[derive(Debug, Clone)]
 pub struct SoaStorage {
     rows: Vec<f32>,
-    /// The transpose of `rows`: `cols[d * n + i] = rows[i * dim + d]`.
-    /// Feeds the contiguous-run kernels (see the module docs on layout).
+    /// The transpose of `rows`, padded per dimension to `stride` slots:
+    /// `cols[d * stride + i] = rows[i * dim + d]`. Feeds the
+    /// contiguous-run kernels (see the module docs on layout).
     cols: Vec<f32>,
     /// `norms[i] = ‖rows[i]‖²` accumulated in f32 — the same values the
     /// estimate's error analysis assumes.
     norms: Vec<f32>,
     dim: usize,
     n: usize,
+    /// Capacity of each dimension lane of `cols` (`≥ n`). Batch builds use
+    /// `stride == n` (the PR-6 layout, byte-identical); the serving
+    /// index's incremental [`SoaStorage::push`] grows it geometrically so
+    /// an insert extends the mirror in amortized O(d) instead of
+    /// re-transposing all n points.
+    stride: usize,
 }
 
 impl SoaStorage {
@@ -165,7 +172,38 @@ impl SoaStorage {
             norms,
             dim,
             n,
+            stride: n,
         }
+    }
+
+    /// Appends one point to the mirror in place: the f32 row, its norm
+    /// (same fixed-order fold as [`SoaStorage::build`]), and the
+    /// dimension-major lanes. Amortized O(dim): lanes are re-strided to
+    /// doubled capacity only when the current `stride` is full, so a
+    /// stream of inserts never pays the full O(n·dim) re-transpose per
+    /// point. The mirrored values are bit-identical to a from-scratch
+    /// build over the extended point set.
+    pub fn push(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dim, "row arity must match the mirror");
+        if self.n == self.stride {
+            let new_stride = (self.stride * 2).max(64);
+            let mut cols = vec![0.0f32; self.dim * new_stride];
+            for d in 0..self.dim {
+                cols[d * new_stride..d * new_stride + self.n]
+                    .copy_from_slice(&self.cols[d * self.stride..d * self.stride + self.n]);
+            }
+            self.cols = cols;
+            self.stride = new_stride;
+        }
+        let mut norm = 0.0f32;
+        for (d, &x) in row.iter().enumerate() {
+            let x32 = x as f32;
+            self.rows.push(x32);
+            self.cols[d * self.stride + self.n] = x32;
+            norm += x32 * x32;
+        }
+        self.norms.push(norm);
+        self.n += 1;
     }
 
     /// The flat row-major f32 coordinate buffer.
@@ -174,11 +212,20 @@ impl SoaStorage {
         &self.rows
     }
 
-    /// The flat dimension-major f32 buffer: `cols()[d * len() + i]` is
-    /// coordinate `d` of point `i`.
+    /// The flat dimension-major f32 buffer: `cols()[d * col_stride() + i]`
+    /// is coordinate `d` of point `i` (slots past `len()` in each lane are
+    /// padding, present only on incrementally grown mirrors).
     #[inline]
     pub fn cols(&self) -> &[f32] {
         &self.cols
+    }
+
+    /// The per-dimension lane stride of [`SoaStorage::cols`]: `len()` for
+    /// batch-built mirrors, the padded capacity for incrementally grown
+    /// ones. Kernels must index `cols` with this, never with `len()`.
+    #[inline]
+    pub fn col_stride(&self) -> usize {
+        self.stride
     }
 
     /// Number of mirrored points.
@@ -268,5 +315,55 @@ mod tests {
     fn band_scale_mirrors_pr4_constant_at_f32_epsilon() {
         let s = f32_band_scale(32);
         assert!((s - 160.0 * f32::EPSILON as f64).abs() < 1e-20);
+    }
+
+    /// Incremental pushes must mirror exactly what a from-scratch build
+    /// over the extended point set would hold — rows, norms, and every
+    /// dimension lane (modulo the padded stride).
+    #[test]
+    fn push_matches_from_scratch_build() {
+        let dim = 3;
+        let rows: Vec<Vec<f64>> = (0..137)
+            .map(|i| (0..dim).map(|d| (i * 7 + d) as f64 * 0.31 - 5.0).collect())
+            .collect();
+        let mut grown = SoaStorage::build(&PointSet::from_rows(&rows[..1]));
+        for row in &rows[1..] {
+            grown.push(row);
+        }
+        let batch = SoaStorage::build(&PointSet::from_rows(&rows));
+        assert_eq!(grown.len(), batch.len());
+        assert_eq!(grown.raw(), batch.raw());
+        assert_eq!(grown.norms(), batch.norms());
+        assert!(grown.col_stride() >= grown.len());
+        assert_eq!(batch.col_stride(), batch.len());
+        for i in 0..batch.len() {
+            for d in 0..dim {
+                assert_eq!(
+                    grown.cols()[d * grown.col_stride() + i].to_bits(),
+                    batch.cols()[d * batch.col_stride() + i].to_bits(),
+                    "lane {d} point {i}"
+                );
+            }
+        }
+    }
+
+    /// The stride grows geometrically, so n pushes re-stride O(log n)
+    /// times rather than once per push.
+    #[test]
+    fn push_amortizes_restrides() {
+        let mut soa = SoaStorage::build(&PointSet::from_rows(&[vec![1.0, 2.0]]));
+        let mut strides = vec![soa.col_stride()];
+        for i in 0..500 {
+            soa.push(&[i as f64, -1.0]);
+            if *strides.last().unwrap() != soa.col_stride() {
+                strides.push(soa.col_stride());
+            }
+        }
+        assert_eq!(soa.len(), 501);
+        assert!(
+            strides.len() <= 12,
+            "500 pushes must not re-stride per push: {strides:?}"
+        );
+        assert!(soa.col_stride() >= soa.len());
     }
 }

@@ -234,3 +234,60 @@ fn tiers_match_with_non_finite_rows() {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The serving-index insert path: growing a space with `push_point`
+    /// after its lazy SoA mirror / sketch already exist (so the mirror is
+    /// *extended* in place, padded-stride lanes and all, and the sketch is
+    /// invalidated + lazily rebuilt) must leave every tier bit-identical
+    /// to the exact tier over a from-scratch build of the full data.
+    #[test]
+    fn tiers_match_after_incremental_growth(
+        rows in arb_wide_rows(16, 18),
+        split in 4usize..12,
+    ) {
+        let split = split.min(rows.len() - 1).max(1);
+        let oracle_space = EuclideanSpace::new(PointSet::from_rows(&rows));
+        let oracle_taus = probe_taus(&oracle_space);
+        let oracle = transcript(&oracle_space, &oracle_taus);
+        for tier in TIERS {
+            let mut space =
+                EuclideanSpace::new(PointSet::from_rows(&rows[..split])).with_speed_tier(tier);
+            // Force the lazy fast-path builds on the prefix so the pushes
+            // below exercise extension, not a fresh build.
+            let prefix_ids: Vec<u32> = (0..split as u32).collect();
+            let _ = space.count_within(PointId(0), &prefix_ids, 1.0);
+            for row in &rows[split..] {
+                space.push_point(row);
+            }
+            prop_assert_eq!(
+                &transcript(&space, &oracle_taus),
+                &oracle,
+                "tier {} diverged after incremental growth (split {})",
+                tier.name(),
+                split
+            );
+        }
+    }
+
+    /// Thread counts must not leak into grown spaces either.
+    #[test]
+    fn grown_space_thread_count_deterministic(rows in arb_wide_rows(12, 18)) {
+        let split = rows.len() / 2;
+        let mut space = EuclideanSpace::new(PointSet::from_rows(&rows[..split.max(1)]))
+            .with_speed_tier(SpeedTier::SoaSketch);
+        let warm: Vec<u32> = (0..space.n() as u32).collect();
+        let _ = space.count_within(PointId(0), &warm, 1.0);
+        for row in &rows[split.max(1)..] {
+            space.push_point(row);
+        }
+        let taus = probe_taus(&space);
+        let t1 = with_threads(1, || transcript(&space, &taus));
+        for threads in [2usize, 8] {
+            let tn = with_threads(threads, || transcript(&space, &taus));
+            prop_assert_eq!(&tn, &t1, "grown space changed output at {} threads", threads);
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //!   k-bounded MIS, and the `(2+ε)` k-diversity / `(2+ε)` k-center /
 //!   `(3+ε)` k-supplier MPC algorithms;
 //! * [`baselines`] — sequential and MPC baselines from prior work plus
-//!   exact solvers for small instances.
+//!   exact solvers for small instances;
+//! * [`serving`] — the long-lived [`serving::DiversityIndex`]: incremental
+//!   per-shard GMM coresets answering k-center / k-diversity queries from
+//!   one warm snapshot instead of a batch re-run.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@ pub mod prelude {
     pub use crate::metric::{
         datasets, EuclideanSpace, HammingSpace, MetricSpace, PointId, PointSet,
     };
+    pub use crate::serving::{DiversityIndex, IndexParams};
     pub use crate::sim::{Cluster, CostModel, Partition};
 }
 
@@ -57,4 +61,5 @@ pub use mpc_baselines as baselines;
 pub use mpc_core as core;
 pub use mpc_graph as graph;
 pub use mpc_metric as metric;
+pub use mpc_serving as serving;
 pub use mpc_sim as sim;
