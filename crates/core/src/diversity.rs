@@ -251,6 +251,7 @@ pub fn mpc_diversity_on<M: MetricSpace + ?Sized>(
     };
     telemetry.ladder_evals = search.evals() as u64;
     telemetry.ladder_probes = search.probes() as u64;
+    telemetry.kernels = metric.kernel_stats();
     DiversityResult {
         subset,
         diversity,

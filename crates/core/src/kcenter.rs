@@ -146,6 +146,7 @@ pub fn mpc_kcenter_on<M: MetricSpace + ?Sized>(
     if q.len() < k || r <= 0.0 {
         let mut telemetry = Telemetry::from_ledger(cluster.ledger());
         telemetry.phases.coarse_s = coarse_s;
+        telemetry.kernels = metric.kernel_stats();
         return KCenterResult {
             centers: to_point_ids(&q),
             radius: r.max(0.0),
@@ -200,6 +201,7 @@ pub fn mpc_kcenter_on<M: MetricSpace + ?Sized>(
     telemetry.ladder_evals = search.evals() as u64;
     telemetry.ladder_probes = search.probes() as u64;
     telemetry.memo = Some(memo.stats());
+    telemetry.kernels = metric.kernel_stats();
     KCenterResult {
         centers: to_point_ids(&centers_raw),
         radius,

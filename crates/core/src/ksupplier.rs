@@ -248,6 +248,7 @@ pub fn mpc_ksupplier_on<M: MetricSpace + ?Sized>(
     };
     telemetry.ladder_evals = search.evals() as u64;
     telemetry.ladder_probes = search.probes() as u64;
+    telemetry.kernels = metric.kernel_stats();
     KSupplierResult {
         suppliers: to_point_ids(&sel),
         radius,

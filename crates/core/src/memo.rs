@@ -630,6 +630,13 @@ impl<M: MetricSpace + ?Sized> MetricSpace for MemoizedSpace<'_, M> {
     fn dist_to_set(&self, p: PointId, set: &[PointId]) -> f64 {
         self.inner.dist_to_set(p, set)
     }
+
+    /// Kernel tallies surface from the inner space: memo hits answer from
+    /// cached rows without touching the kernels, so the inner counts are
+    /// exactly the pairs that actually ran.
+    fn kernel_stats(&self) -> Option<mpc_metric::KernelStats> {
+        self.inner.kernel_stats()
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Execution summaries extracted from the simulator ledger.
 
+use mpc_metric::KernelStats;
 use mpc_sim::Ledger;
 
 use crate::memo::MemoStats;
@@ -57,6 +58,12 @@ pub struct Telemetry {
     /// for runs without a ladder. Local-compute observability only — the
     /// memo never touches the ledger.
     pub memo: Option<MemoStats>,
+    /// Metric-space fast-path kernel tallies snapshotted when the run
+    /// finished; `None` when the space keeps none (exact tier, or a
+    /// non-SIMD space). Cumulative per space, so a run's own hits are the
+    /// delta against a snapshot taken at its start. Local-compute
+    /// observability only, like `memo`.
+    pub kernels: Option<KernelStats>,
 }
 
 impl Telemetry {
@@ -73,6 +80,7 @@ impl Telemetry {
             ladder_evals: 0,
             ladder_probes: 0,
             memo: None,
+            kernels: None,
         }
     }
 
@@ -89,6 +97,7 @@ impl Telemetry {
             ladder_evals: 0,
             ladder_probes: 0,
             memo: None,
+            kernels: None,
         }
     }
 }

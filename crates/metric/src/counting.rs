@@ -122,6 +122,12 @@ impl<M: MetricSpace> MetricSpace for CountingSpace<M> {
         self.calls.fetch_add(set.len() as u64, Ordering::Relaxed);
         self.inner.dist_to_set(p, set)
     }
+
+    /// Kernel tallies are observability, not oracle work: forwarded
+    /// without charging.
+    fn kernel_stats(&self) -> Option<crate::space::KernelStats> {
+        self.inner.kernel_stats()
+    }
 }
 
 #[cfg(test)]

@@ -51,5 +51,5 @@ pub use space::{
     dist_point_to_set, dist_set_to_set, min_pairwise_distance, par_bulk, par_bulk_pairs,
     par_bulk_weighted, par_chunk_size, par_chunk_size_weighted, par_count_chunks,
     par_count_chunks_weighted, par_filter_chunks, par_filter_chunks_weighted, par_query_chunks,
-    MetricSpace, PAR_MIN_BULK,
+    KernelStats, MetricSpace, PAR_MIN_BULK,
 };

@@ -258,7 +258,12 @@ impl MetricSpace for MatrixSpace {
     }
 
     /// Filter twin of [`MetricSpace::count_within_taus`] over the same row
-    /// slice; each rung's list preserves candidate order.
+    /// slice; each rung's list preserves candidate order. Entry collection
+    /// fans out over candidate chunks like the counting kernel (parts
+    /// concatenate in candidate order, so the output matches the
+    /// sequential scan at every thread count); the per-rung lists then
+    /// come from one bucketizing pass plus a prefix-merge across rungs —
+    /// O(entries + output), not O(rungs × entries).
     fn neighbors_within_taus(&self, v: PointId, candidates: &[u32], taus: &[f64]) -> Vec<Vec<u32>> {
         debug_assert!(
             taus.windows(2).all(|w| w[0] <= w[1]),
@@ -268,22 +273,56 @@ impl MetricSpace for MatrixSpace {
         let Some(&last) = taus.last() else {
             return Vec::new();
         };
-        let entries: Vec<(u32, u32)> = candidates
-            .iter()
-            .filter_map(|&c| {
-                let d = row[c as usize];
-                (d <= last).then(|| (c, taus.partition_point(|&t| t < d) as u32))
-            })
-            .collect();
-        (0..taus.len())
-            .map(|j| {
-                entries
-                    .iter()
-                    .filter(|&&(_, e)| e as usize <= j)
-                    .map(|&(c, _)| c)
-                    .collect()
-            })
-            .collect()
+        let scan = |chunk: &[u32]| -> Vec<(u32, u32)> {
+            chunk
+                .iter()
+                .filter_map(|&c| {
+                    let d = row[c as usize];
+                    (d <= last).then(|| (c, taus.partition_point(|&t| t < d) as u32))
+                })
+                .collect()
+        };
+        let entries: Vec<(u32, u32)> = if space::par_bulk_weighted(candidates.len(), taus.len()) {
+            use rayon::prelude::*;
+            let parts: Vec<Vec<(u32, u32)>> = candidates
+                .par_chunks(space::par_chunk_size(candidates.len()))
+                .map(scan)
+                .collect();
+            parts.concat()
+        } else {
+            scan(candidates)
+        };
+        // Bucketize by entry rung (entries are already in candidate
+        // order, so bucket order and merge order both preserve it), then
+        // prefix-merge: rung j's list is every entry with rung ≤ j.
+        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); taus.len()];
+        for (p, &(c, e)) in entries.iter().enumerate() {
+            buckets[e as usize].push((p as u32, c));
+        }
+        let mut out: Vec<Vec<u32>> = Vec::with_capacity(taus.len());
+        let mut acc: Vec<(u32, u32)> = Vec::new();
+        let mut merged: Vec<(u32, u32)> = Vec::new();
+        for bucket in &buckets {
+            if !bucket.is_empty() {
+                merged.clear();
+                merged.reserve(acc.len() + bucket.len());
+                let (mut x, mut y) = (0, 0);
+                while x < acc.len() && y < bucket.len() {
+                    if acc[x].0 < bucket[y].0 {
+                        merged.push(acc[x]);
+                        x += 1;
+                    } else {
+                        merged.push(bucket[y]);
+                        y += 1;
+                    }
+                }
+                merged.extend_from_slice(&acc[x..]);
+                merged.extend_from_slice(&bucket[y..]);
+                std::mem::swap(&mut acc, &mut merged);
+            }
+            out.push(acc.iter().map(|&(_, c)| c).collect());
+        }
+        out
     }
 
     /// Bulk distance fill: one row borrow, then a gather — each entry is

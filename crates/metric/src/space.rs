@@ -349,6 +349,48 @@ pub trait MetricSpace: Sync {
             })
             .collect()
     }
+
+    /// Snapshot of the space's fast-path kernel tallies, when it keeps
+    /// any. The default is `None`: purely oracle-backed spaces have no
+    /// SIMD kernels to count. Wrappers forward to their inner space so
+    /// the counters surface through memoization and instrumentation
+    /// layers (see `Telemetry` in `mpc-core`).
+    fn kernel_stats(&self) -> Option<KernelStats> {
+        None
+    }
+}
+
+/// Cumulative fast-path kernel hit counts for one metric space — which
+/// SIMD classifier each pair went through, how many pairs the sketch
+/// certified away, and how often the banded estimate had to fall back to
+/// the exact evaluation. Pure observability: tallies never influence any
+/// verdict. All counts are in pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Pairs classified by the single-τ contiguous-run kernel
+    /// (`classify_f32_run`).
+    pub run_pairs: u64,
+    /// Pairs classified by the single-τ indexed kernel
+    /// (`classify_f32_indexed`).
+    pub indexed_pairs: u64,
+    /// Pairs classified by the multi-τ contiguous-run kernel
+    /// (`classify_f32_run_taus`).
+    pub taus_run_pairs: u64,
+    /// Pairs classified by the multi-τ indexed kernel
+    /// (`classify_f32_indexed_taus`).
+    pub taus_indexed_pairs: u64,
+    /// Pairs the sketch sieve certified as rejects (no dot computed).
+    pub sketch_rejects: u64,
+    /// Pairs re-decided by the exact f64 evaluation after a band hit.
+    pub exact_fallbacks: u64,
+}
+
+impl KernelStats {
+    /// Total pairs the fast-path classifiers judged (excluding
+    /// sketch-rejected pairs, which never reach a classifier).
+    pub fn classified_pairs(&self) -> u64 {
+        self.run_pairs + self.indexed_pairs + self.taus_run_pairs + self.taus_indexed_pairs
+    }
 }
 
 impl<M: MetricSpace + ?Sized> MetricSpace for &M {
@@ -387,6 +429,9 @@ impl<M: MetricSpace + ?Sized> MetricSpace for &M {
     }
     fn neighbors_within_taus(&self, v: PointId, candidates: &[u32], taus: &[f64]) -> Vec<Vec<u32>> {
         (**self).neighbors_within_taus(v, candidates, taus)
+    }
+    fn kernel_stats(&self) -> Option<KernelStats> {
+        (**self).kernel_stats()
     }
 }
 

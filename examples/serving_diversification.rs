@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use mpc_clustering::metric::datasets;
+use mpc_clustering::metric::{datasets, MetricSpace};
 use mpc_clustering::serving::{DiversityIndex, IndexParams};
 
 fn main() {
@@ -40,6 +40,7 @@ fn main() {
     let mut insert_ns = 0u128;
     let mut query_ns: Vec<u128> = Vec::with_capacity(bursts * queries_per_burst);
     let mut digest = 0u64;
+    let mut last_memo = None;
 
     for burst in 0..bursts {
         // Ingest burst: absorb a slice of the stream (O(coreset_k)
@@ -76,6 +77,7 @@ fn main() {
                     .wrapping_add(s.0 as u64 + 1);
             }
         }
+        last_memo = Some(snap.memo_stats());
     }
 
     query_ns.sort_unstable();
@@ -100,5 +102,30 @@ fn main() {
         p(0.99)
     );
     println!("  merge slack δ     : {:>9.4}", stats.delta);
+
+    // Observability for the local compute behind the answers: the last
+    // snapshot's distance-memo counters and the index space's cumulative
+    // fast-path kernel tallies. Tier- and thread-dependent, so they go to
+    // stderr — CI's byte-diff watches stdout only.
+    if let Some(memo) = last_memo {
+        eprintln!(
+            "last snapshot memo: {} rows resident ({} sorted), {} hits / {} misses, {} sorted builds",
+            memo.entries, memo.sorted_rows, memo.hits, memo.misses, memo.sorted_builds
+        );
+    }
+    match index.space().kernel_stats() {
+        Some(k) => eprintln!(
+            "kernel tallies: single {} run / {} indexed, multi-τ {} run / {} indexed, \
+             {} sketch rejects, {} exact fallbacks",
+            k.run_pairs,
+            k.indexed_pairs,
+            k.taus_run_pairs,
+            k.taus_indexed_pairs,
+            k.sketch_rejects,
+            k.exact_fallbacks
+        ),
+        None => eprintln!("kernel tallies: none (exact tier)"),
+    }
+
     println!("\nserving digest: {digest:016x}");
 }
