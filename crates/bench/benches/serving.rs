@@ -86,6 +86,34 @@ fn bench_serving(c: &mut Criterion) {
         })
     });
 
+    group.bench_function(BenchmarkId::new("user-stream", "chunk4096"), |b| {
+        // The drifting user-embedding stream shared with the grid bench,
+        // absorbed chunk-by-chunk the way a production feed would arrive:
+        // O(chunk) staging memory regardless of stream length.
+        let mut index = filled_index(&points, N);
+        let mut offset = 0u64;
+        b.iter(|| {
+            with_threads(1, || {
+                datasets::user_embeddings_chunked(
+                    4_096,
+                    DIM,
+                    12,
+                    0.02,
+                    1e-4,
+                    SEED ^ offset,
+                    512,
+                    |batch| {
+                        for row in batch.chunks_exact(DIM) {
+                            index.insert(row);
+                        }
+                    },
+                );
+                offset = offset.wrapping_add(1);
+                index.len() as u64
+            })
+        })
+    });
+
     group.bench_function(BenchmarkId::new("refresh", "incremental"), |b| {
         let mut index = filled_index(&points, N);
         let mut cursor = 0u32;

@@ -2,7 +2,7 @@
 //! checked-in `BENCH_*.json` and fails on median regressions.
 //!
 //! ```text
-//! bench_diff [--threshold PCT] [--require-all] <baseline.json> <fresh.json>
+//! bench_diff [--threshold PCT] [--allow-missing] <baseline.json> <fresh.json>
 //! bench_diff --list <file.json> [<file.json>…]
 //! ```
 //!
@@ -11,10 +11,12 @@
 //! present in both files the fresh median may exceed the baseline median
 //! by at most `PCT` percent (default 25). Ids only in one file are
 //! reported **with their median** (so a rename or filter still shows what
-//! the orphaned entry measured): baseline-only ids are a warning (the
-//! fresh run may have been filtered), or an error under `--require-all`;
-//! fresh-only ids are never fatal, so adding benchmarks doesn't require
-//! regenerating baselines in the same commit.
+//! the orphaned entry measured): a baseline id absent from the fresh run
+//! is an **error** — a silently dropped benchmark would otherwise read as
+//! a pass forever — unless `--allow-missing` downgrades it to a warning
+//! (for deliberately filtered runs). Fresh-only ids are never fatal, so
+//! adding benchmarks doesn't require regenerating baselines in the same
+//! commit.
 //!
 //! `--list` skips the comparison and dumps every record of the given
 //! file(s), one `id → median` line each — a quick way to inspect a
@@ -89,7 +91,7 @@ fn compare(
     baseline: &[Record],
     fresh: &[Record],
     threshold_pct: f64,
-    require_all: bool,
+    allow_missing: bool,
 ) -> Result<(Vec<String>, bool), String> {
     let allowed = 1.0 + threshold_pct / 100.0;
     let mut lines = Vec::new();
@@ -97,15 +99,15 @@ fn compare(
     let mut compared = 0usize;
     for base in baseline {
         let Some(new) = fresh.iter().find(|r| r.id == base.id) else {
-            if require_all {
-                ok = false;
+            if allow_missing {
                 lines.push(format!(
-                    "MISSING   {:60} {:>12.0} ns -> (absent)      (baseline-only, --require-all)",
+                    "base-only {:60} {:>12.0} ns -> (absent)      (not in fresh run)",
                     base.id, base.median_ns
                 ));
             } else {
+                ok = false;
                 lines.push(format!(
-                    "base-only {:60} {:>12.0} ns -> (absent)      (not in fresh run)",
+                    "MISSING   {:60} {:>12.0} ns -> (absent)      (baseline id not in fresh run)",
                     base.id, base.median_ns
                 ));
             }
@@ -156,7 +158,7 @@ fn list_lines(path: &str, records: &[Record]) -> Vec<String> {
 
 fn run() -> Result<bool, String> {
     let mut threshold_pct = 25.0f64;
-    let mut require_all = false;
+    let mut allow_missing = false;
     let mut list = false;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -168,11 +170,14 @@ fn run() -> Result<bool, String> {
                     .parse()
                     .map_err(|_| format!("bad --threshold value: {v}"))?;
             }
-            "--require-all" => require_all = true,
+            "--allow-missing" => allow_missing = true,
+            // Former opt-in for the now-default strictness; kept so old
+            // invocations don't break.
+            "--require-all" => allow_missing = false,
             "--list" => list = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: bench_diff [--threshold PCT] [--require-all] \
+                    "usage: bench_diff [--threshold PCT] [--allow-missing] \
                      <baseline.json> <fresh.json>\n       bench_diff --list <file.json>…"
                 );
                 return Ok(true);
@@ -197,7 +202,7 @@ fn run() -> Result<bool, String> {
     };
     let baseline = parse_records(&read(baseline_path)?, baseline_path)?;
     let fresh = parse_records(&read(fresh_path)?, fresh_path)?;
-    let (lines, ok) = compare(&baseline, &fresh, threshold_pct, require_all)?;
+    let (lines, ok) = compare(&baseline, &fresh, threshold_pct, allow_missing)?;
     for line in &lines {
         println!("{line}");
     }
@@ -259,8 +264,8 @@ mod tests {
     fn one_sided_entries_report_their_medians() {
         let baseline = [rec("shared", 100.0), rec("gone", 250.0)];
         let fresh = [rec("shared", 110.0), rec("added", 75.0)];
-        let (lines, ok) = compare(&baseline, &fresh, 25.0, false).unwrap();
-        assert!(ok);
+        let (lines, ok) = compare(&baseline, &fresh, 25.0, true).unwrap();
+        assert!(ok, "--allow-missing keeps one-sided ids non-fatal");
         let gone = lines.iter().find(|l| l.contains("gone")).unwrap();
         assert!(gone.starts_with("base-only"), "{gone}");
         assert!(gone.contains("250 ns"), "must carry the median: {gone}");
@@ -271,14 +276,17 @@ mod tests {
     }
 
     #[test]
-    fn require_all_fails_on_baseline_only_entries() {
+    fn missing_baseline_entries_fail_by_default() {
         let baseline = [rec("shared", 100.0), rec("gone", 250.0)];
         let fresh = [rec("shared", 100.0)];
-        let (lines, ok) = compare(&baseline, &fresh, 25.0, true).unwrap();
-        assert!(!ok);
+        let (lines, ok) = compare(&baseline, &fresh, 25.0, false).unwrap();
+        assert!(!ok, "a dropped benchmark must not read as a pass");
         let gone = lines.iter().find(|l| l.contains("gone")).unwrap();
         assert!(gone.starts_with("MISSING"), "{gone}");
         assert!(gone.contains("250 ns"), "{gone}");
+        // Fresh-only ids stay non-fatal even in strict mode.
+        let (_, ok) = compare(&[rec("shared", 100.0)], &fresh, 25.0, false).unwrap();
+        assert!(ok);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The experiment suite E1–E10 (DESIGN.md §5). Each experiment returns
+//! The experiment suite E1–E15 (DESIGN.md §5). Each experiment returns
 //! markdown [`crate::table::Table`]s; the `report` binary prints them.
 
 pub mod e10_ablations;
@@ -6,6 +6,7 @@ pub mod e11_metric_generality;
 pub mod e12_cost_projection;
 pub mod e13_remote_clique;
 pub mod e14_constants;
+pub mod e15_grid_engine;
 pub mod e1_diversity_quality;
 pub mod e2_kcenter_quality;
 pub mod e3_ksupplier_quality;
@@ -20,8 +21,8 @@ use crate::table::Table;
 use crate::Scale;
 
 /// Experiment ids in report order.
-pub const ALL: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Runs one experiment by id. Panics on unknown ids.
@@ -41,6 +42,7 @@ pub fn run(id: &str, scale: Scale) -> Vec<Table> {
         "e12" => e12_cost_projection::run(scale),
         "e13" => e13_remote_clique::run(scale),
         "e14" => e14_constants::run(scale),
+        "e15" => e15_grid_engine::run(scale),
         other => panic!("unknown experiment id {other:?} (expected one of {ALL:?})"),
     }
 }

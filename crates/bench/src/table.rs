@@ -40,6 +40,11 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// The data rows (tests read cells back through this).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table as GitHub-flavored markdown.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();

@@ -27,6 +27,7 @@ pub mod degree;
 pub mod diversity;
 pub mod dominating;
 pub mod gmm;
+pub mod grid;
 pub mod kbmis;
 pub mod kcenter;
 pub mod ksupplier;
@@ -36,6 +37,7 @@ pub mod params;
 pub mod telemetry;
 pub mod verify;
 
+pub use grid::KCenterEngine;
 pub use memo::MemoStats;
 pub use params::{BoundarySearch, Params, PartitionStrategy};
 pub use telemetry::{PhaseTimes, Telemetry};

@@ -1,0 +1,167 @@
+//! Cross-engine contract for the grid k-center engine: on any Euclidean
+//! input the grid ladder must stay within Algorithm 5's approximation
+//! factor of the all-pairs ladder (both are `2(1+ε)`-approximations, so
+//! each is within `2(1+ε)` of the other and of the sequential Gonzalez
+//! radius), and — like everything else in this repo — must be
+//! bit-identical across worker-pool widths.
+
+use mpc_core::grid::{grid_k_bounded_mis, mpc_kcenter_grid, mpc_kcenter_grid_on};
+use mpc_core::kcenter::{mpc_kcenter, sequential_gmm_kcenter};
+use mpc_core::Params;
+use mpc_metric::{
+    datasets, dist_point_to_set, EuclideanSpace, KernelStats, MetricSpace, PointId, PointSet,
+};
+use mpc_sim::Cluster;
+use proptest::prelude::*;
+use rayon::with_threads;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Both engines carry the same guarantee chain: `radius ∈ [r*, 2(1+ε)r*]`
+/// for either engine and `seq.radius ∈ [r*, 2r*]`, so the grid radius is
+/// at most `2(1+ε)` times either reference (and exact on its own centers).
+fn check_guarantee(space: &EuclideanSpace, k: usize, params: &Params) {
+    let grid = mpc_kcenter_grid(space, k, params);
+    assert!(grid.centers.len() <= k);
+    let factor = 2.0 * (1.0 + params.epsilon);
+    let seq = sequential_gmm_kcenter(space, k);
+    assert!(
+        grid.radius <= factor * seq.radius + 1e-9,
+        "grid {} vs sequential {}",
+        grid.radius,
+        seq.radius
+    );
+    let all = mpc_kcenter(space, k, params);
+    assert!(
+        grid.radius <= factor * all.radius + 1e-9,
+        "grid {} vs all-pairs {}",
+        grid.radius,
+        all.radius
+    );
+    let realized = (0..space.n() as u32)
+        .map(|v| dist_point_to_set(space, PointId(v), &grid.centers))
+        .fold(0.0f64, f64::max);
+    assert!(
+        (grid.radius - realized).abs() < 1e-9,
+        "reported radius must be the realized radius"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn grid_radius_within_factor_on_clusters(
+        n in 80usize..400,
+        dim in 2usize..5,
+        k in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let space =
+            EuclideanSpace::new(datasets::gaussian_clusters(n, dim, k, 0.05, seed));
+        check_guarantee(&space, k, &Params::practical(4, 0.1, seed));
+    }
+
+    #[test]
+    fn grid_radius_within_factor_on_uniform(
+        n in 60usize..300,
+        dim in 2usize..4,
+        k in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let space = EuclideanSpace::new(datasets::uniform_cube(n, dim, seed));
+        check_guarantee(&space, k, &Params::practical(3, 0.15, seed));
+    }
+}
+
+#[test]
+fn duplicate_heavy_input() {
+    // 3 distinct locations, each repeated 40 times: optimum 0 at k = 3.
+    let rows: Vec<Vec<f64>> = (0..120).map(|i| vec![(i % 3) as f64, 1.0]).collect();
+    let space = EuclideanSpace::new(PointSet::from_rows(&rows));
+    let res = mpc_kcenter_grid(&space, 3, &Params::practical(4, 0.1, 5));
+    assert!(res.radius <= 1e-12);
+    check_guarantee(&space, 2, &Params::practical(4, 0.1, 5));
+}
+
+#[test]
+fn collinear_points() {
+    // Equally spaced points on a line: every ladder τ lands exactly on a
+    // multiple of the spacing, so cell-boundary assignment is exercised at
+    // the rung thresholds themselves.
+    let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64, 0.0]).collect();
+    let space = EuclideanSpace::new(PointSet::from_rows(&rows));
+    for k in [2usize, 5, 9] {
+        check_guarantee(&space, k, &Params::practical(4, 0.1, 17));
+    }
+}
+
+#[test]
+fn near_cell_boundary_points() {
+    // Pairs straddling cell boundaries by ±1e-9 at unit spacing: a grid
+    // with side τ ≈ 1 must still surface the cross-cell neighbor through
+    // the stencil, or maximality (hence the radius) breaks.
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for i in 0..60 {
+        let base = 3.0 * i as f64;
+        rows.push(vec![base - 1e-9, 0.5]);
+        rows.push(vec![base + 1e-9, 0.5]);
+    }
+    let space = EuclideanSpace::new(PointSet::from_rows(&rows));
+    for k in [3usize, 7] {
+        check_guarantee(&space, k, &Params::practical(4, 0.1, 23));
+    }
+}
+
+#[test]
+fn grid_mis_exact_domination_at_tau() {
+    // Distances exactly τ are dominations (≤ τ), exercised on the integer
+    // line with τ = 1: the MIS must pick every other point at most.
+    let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+    let space = EuclideanSpace::new(PointSet::from_rows(&rows));
+    let local_sets: Vec<Vec<u32>> = vec![(0..25u32).collect(), (25..50u32).collect()];
+    let mut cluster = Cluster::new(2, 1);
+    let mut stats = KernelStats::default();
+    let set = grid_k_bounded_mis(&mut cluster, &space, &local_sets, 1.0, 50, &mut stats);
+    for w in set.windows(2) {
+        assert!(w[1] - w[0] >= 2, "adjacent integers are mutually dominated");
+    }
+    let ids: Vec<PointId> = set.iter().map(|&i| PointId(i)).collect();
+    for v in 0..50u32 {
+        assert!(dist_point_to_set(&space, PointId(v), &ids) <= 1.0);
+    }
+}
+
+#[test]
+fn grid_engine_is_thread_count_invariant() {
+    for (n, dim, k, m, seed) in [
+        (900usize, 3usize, 6usize, 4usize, 42u64),
+        (600, 2, 8, 8, 7),
+        (500, 5, 4, 2, 13),
+    ] {
+        let space = EuclideanSpace::new(datasets::user_embeddings(n, dim, k, 0.03, 1e-3, seed));
+        let params = Params::practical(m, 0.1, seed);
+        let runs: Vec<_> = THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                with_threads(t, || {
+                    let mut cluster = Cluster::new(m, seed);
+                    let out = mpc_kcenter_grid_on(&mut cluster, &space, k, &params);
+                    (
+                        out.centers.clone(),
+                        out.radius.to_bits(),
+                        out.boundary_index,
+                        out.telemetry.rounds,
+                        out.telemetry.total_words,
+                    )
+                })
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(
+                r, &runs[0],
+                "n={n} dim={dim}: engine must not depend on pool width"
+            );
+        }
+    }
+}

@@ -191,6 +191,74 @@ pub fn random_road_network(n: usize, extra_edges: usize, seed: u64) -> Vec<(usiz
     edges
 }
 
+/// Streams the "user embedding" workload — `clusters` interest groups whose
+/// centers random-walk through `[0, 1]^dim` (drift `drift` per emitted
+/// point), points Gaussian around the current center with deviation
+/// `sigma` and cluster-interleaved emission — in `chunk` -point batches to
+/// `emit`. Memory is O(chunk · dim + clusters · dim) regardless of `n`, so
+/// n = 10⁷-scale grid-engine runs never materialize the full set; the
+/// batches concatenate to exactly [`user_embeddings`] for the same
+/// arguments.
+#[allow(clippy::too_many_arguments)]
+pub fn user_embeddings_chunked(
+    n: usize,
+    dim: usize,
+    clusters: usize,
+    sigma: f64,
+    drift: f64,
+    seed: u64,
+    chunk: usize,
+    mut emit: impl FnMut(&[f64]),
+) {
+    assert!(clusters > 0 && dim > 0 && chunk > 0);
+    let mut rng = rng_for(seed, 8);
+    let mut centers = Vec::with_capacity(clusters * dim);
+    for _ in 0..clusters * dim {
+        centers.push(rng.random_range(0.0..1.0));
+    }
+    let mut batch = Vec::with_capacity(chunk * dim);
+    for i in 0..n {
+        let c = i % clusters;
+        for d in 0..dim {
+            // Reflecting random walk keeps the drifting center in-cube.
+            let mut x = centers[c * dim + d] + drift * gaussian(&mut rng);
+            if x < 0.0 {
+                x = -x;
+            }
+            if x > 1.0 {
+                x = 2.0 - x;
+            }
+            centers[c * dim + d] = x.clamp(0.0, 1.0);
+            batch.push(centers[c * dim + d] + sigma * gaussian(&mut rng));
+        }
+        if batch.len() == chunk * dim {
+            emit(&batch);
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        emit(&batch);
+    }
+}
+
+/// Materialized [`user_embeddings_chunked`]: the full `n`-point drifting
+/// cluster workload as a [`PointSet`]. Prefer the chunked form above
+/// n ≈ 10⁶ — this one allocates `n · dim` floats.
+pub fn user_embeddings(
+    n: usize,
+    dim: usize,
+    clusters: usize,
+    sigma: f64,
+    drift: f64,
+    seed: u64,
+) -> PointSet {
+    let mut data = Vec::with_capacity(n * dim);
+    user_embeddings_chunked(n, dim, clusters, sigma, drift, seed, 8192, |batch| {
+        data.extend_from_slice(batch)
+    });
+    PointSet::new(data, dim)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +318,27 @@ mod tests {
             g.is_ok(),
             "spanning-tree construction must connect the graph"
         );
+    }
+
+    #[test]
+    fn user_embeddings_chunks_concatenate_to_the_materialized_set() {
+        let full = user_embeddings(500, 4, 7, 0.02, 1e-3, 11);
+        assert_eq!(full.len(), 500);
+        assert_eq!(full.dim(), 4);
+        for chunk in [1usize, 97, 128, 500, 1000] {
+            let mut data = Vec::new();
+            user_embeddings_chunked(500, 4, 7, 0.02, 1e-3, 11, chunk, |b| {
+                data.extend_from_slice(b)
+            });
+            assert_eq!(PointSet::new(data, 4), full, "chunk = {chunk}");
+        }
+        // In-cube up to the Gaussian tail around a clamped center.
+        for id in full.ids() {
+            for &x in full.coords(id) {
+                assert!((-0.5..1.5).contains(&x));
+            }
+        }
+        assert_ne!(user_embeddings(500, 4, 7, 0.02, 1e-3, 12), full);
     }
 
     #[test]

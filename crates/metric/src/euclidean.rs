@@ -96,6 +96,7 @@ impl KernelCounters {
             taus_indexed_pairs: self.taus_indexed_pairs.load(Ordering::Relaxed),
             sketch_rejects: self.sketch_rejects.load(Ordering::Relaxed),
             exact_fallbacks: self.exact_fallbacks.load(Ordering::Relaxed),
+            ..KernelStats::default()
         }
     }
 

@@ -25,6 +25,7 @@ pub mod datasets;
 pub mod edit;
 pub mod euclidean;
 pub mod graph_metric;
+pub mod grid;
 pub mod hamming;
 pub mod jaccard;
 pub mod matrix;
@@ -41,6 +42,7 @@ pub use counting::CountingSpace;
 pub use edit::EditDistanceSpace;
 pub use euclidean::EuclideanSpace;
 pub use graph_metric::GraphMetricSpace;
+pub use grid::{GridIndex, GridScan};
 pub use hamming::HammingSpace;
 pub use jaccard::JaccardSpace;
 pub use matrix::MatrixSpace;

@@ -1,8 +1,48 @@
 //! Explicit distance-matrix metric — the fully general "any metric space"
 //! oracle, for metrics with no coordinate structure at all.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::point::PointId;
-use crate::space::{self, MetricSpace};
+use crate::space::{self, KernelStats, MetricSpace};
+
+/// Pair tallies for [`MatrixSpace`]'s batched kernels, mirroring the
+/// Euclidean counters so `MatrixSpace` runs report [`KernelStats`] too.
+/// Row scans have no run/indexed or sketch split, so the mapping is by
+/// kernel shape: single-query scans count as `run_pairs`, multi-query
+/// scans as `indexed_pairs`, multi-τ scans as `taus_run_pairs`. Relaxed
+/// atomics — tallies, not synchronization.
+#[derive(Debug, Default)]
+struct MatrixCounters {
+    run_pairs: AtomicU64,
+    indexed_pairs: AtomicU64,
+    taus_run_pairs: AtomicU64,
+}
+
+impl MatrixCounters {
+    fn add(counter: &AtomicU64, pairs: u64) {
+        counter.fetch_add(pairs, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> KernelStats {
+        KernelStats {
+            run_pairs: self.run_pairs.load(Ordering::Relaxed),
+            indexed_pairs: self.indexed_pairs.load(Ordering::Relaxed),
+            taus_run_pairs: self.taus_run_pairs.load(Ordering::Relaxed),
+            ..KernelStats::default()
+        }
+    }
+}
+
+impl Clone for MatrixCounters {
+    fn clone(&self) -> Self {
+        Self {
+            run_pairs: AtomicU64::new(self.run_pairs.load(Ordering::Relaxed)),
+            indexed_pairs: AtomicU64::new(self.indexed_pairs.load(Ordering::Relaxed)),
+            taus_run_pairs: AtomicU64::new(self.taus_run_pairs.load(Ordering::Relaxed)),
+        }
+    }
+}
 
 /// A metric given by an explicit `n × n` distance matrix.
 ///
@@ -13,6 +53,7 @@ use crate::space::{self, MetricSpace};
 pub struct MatrixSpace {
     d: Vec<f64>,
     n: usize,
+    counters: MatrixCounters,
 }
 
 /// Construction-time validation failures for [`MatrixSpace`].
@@ -73,7 +114,11 @@ impl MatrixSpace {
                 }
             }
         }
-        Ok(Self { d, n })
+        Ok(Self {
+            d,
+            n,
+            counters: MatrixCounters::default(),
+        })
     }
 
     /// Like [`MatrixSpace::new`] but additionally verifies the triangle
@@ -128,6 +173,7 @@ impl MetricSpace for MatrixSpace {
     /// [`space::par_bulk`]); integer chunk counts sum exactly, so the
     /// parallel and sequential answers coincide.
     fn count_within(&self, v: PointId, candidates: &[u32], tau: f64) -> usize {
+        MatrixCounters::add(&self.counters.run_pairs, candidates.len() as u64);
         let row = &self.d[v.idx() * self.n..(v.idx() + 1) * self.n];
         let scan = |chunk: &[u32]| chunk.iter().filter(|&&c| row[c as usize] <= tau).count();
         if space::par_bulk(candidates.len()) {
@@ -141,6 +187,7 @@ impl MetricSpace for MatrixSpace {
     /// contiguous row slice; per-chunk survivors concatenate in chunk
     /// order, preserving the sequential output order.
     fn neighbors_within(&self, v: PointId, candidates: &[u32], tau: f64, out: &mut Vec<u32>) {
+        MatrixCounters::add(&self.counters.run_pairs, candidates.len() as u64);
         out.clear();
         let row = &self.d[v.idx() * self.n..(v.idx() + 1) * self.n];
         if space::par_bulk(candidates.len()) {
@@ -167,6 +214,10 @@ impl MetricSpace for MatrixSpace {
     /// query. Large query batches fan fixed query chunks across the worker
     /// pool; rows concatenate in query order.
     fn count_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<usize> {
+        MatrixCounters::add(
+            &self.counters.indexed_pairs,
+            vs.len() as u64 * candidates.len() as u64,
+        );
         let run = |qs: &[u32]| -> Vec<usize> {
             qs.iter()
                 .map(|&v| {
@@ -188,6 +239,10 @@ impl MetricSpace for MatrixSpace {
     /// Filter twin of [`MetricSpace::count_within_many`] over the same row
     /// slices; candidate order is preserved per query.
     fn neighbors_within_many(&self, vs: &[u32], candidates: &[u32], tau: f64) -> Vec<Vec<u32>> {
+        MatrixCounters::add(
+            &self.counters.indexed_pairs,
+            vs.len() as u64 * candidates.len() as u64,
+        );
         let run = |qs: &[u32]| -> Vec<Vec<u32>> {
             qs.iter()
                 .map(|&v| {
@@ -217,6 +272,7 @@ impl MetricSpace for MatrixSpace {
             taus.windows(2).all(|w| w[0] <= w[1]),
             "count_within_taus requires non-decreasing thresholds"
         );
+        MatrixCounters::add(&self.counters.taus_run_pairs, candidates.len() as u64);
         let row = &self.d[v.idx() * self.n..(v.idx() + 1) * self.n];
         let mut counts = vec![0usize; taus.len()];
         let Some(&last) = taus.last() else {
@@ -269,6 +325,7 @@ impl MetricSpace for MatrixSpace {
             taus.windows(2).all(|w| w[0] <= w[1]),
             "neighbors_within_taus requires non-decreasing thresholds"
         );
+        MatrixCounters::add(&self.counters.taus_run_pairs, candidates.len() as u64);
         let row = &self.d[v.idx() * self.n..(v.idx() + 1) * self.n];
         let Some(&last) = taus.last() else {
             return Vec::new();
@@ -341,6 +398,11 @@ impl MetricSpace for MatrixSpace {
             .map(|s| row[s.idx()])
             .fold(f64::INFINITY, f64::min)
     }
+
+    /// Cumulative pair tallies of the batched row-scan kernels.
+    fn kernel_stats(&self) -> Option<KernelStats> {
+        Some(self.counters.snapshot())
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +447,24 @@ mod tests {
             MatrixSpace::new(2, vec![0.0, f64::NAN, f64::NAN, 0.0]).unwrap_err(),
             MatrixSpaceError::InvalidEntry(..)
         ));
+    }
+
+    #[test]
+    fn kernel_stats_tally_batched_scans() {
+        let m = MatrixSpace::from_fn(6, |i, j| (i as f64 - j as f64).abs()).unwrap();
+        let cands: Vec<u32> = (0..6).collect();
+        assert_eq!(m.count_within(PointId(0), &cands, 2.0), 3);
+        let _ = m.count_within_many(&[0, 5], &cands, 2.0);
+        let _ = m.count_within_taus(PointId(0), &cands, &[1.0, 3.0]);
+        let ks = m.kernel_stats().unwrap();
+        assert_eq!(ks.run_pairs, 6);
+        assert_eq!(ks.indexed_pairs, 12);
+        assert_eq!(ks.taus_run_pairs, 6);
+        // Clones snapshot the tallies rather than sharing them.
+        let c = m.clone();
+        let _ = m.count_within(PointId(1), &cands, 2.0);
+        assert_eq!(c.kernel_stats().unwrap().run_pairs, 6);
+        assert_eq!(m.kernel_stats().unwrap().run_pairs, 12);
     }
 
     #[test]

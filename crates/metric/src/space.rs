@@ -383,6 +383,14 @@ pub struct KernelStats {
     pub sketch_rejects: u64,
     /// Pairs re-decided by the exact f64 evaluation after a band hit.
     pub exact_fallbacks: u64,
+    /// Occupied cells across every `GridIndex` built (grid engine only).
+    pub grid_cells: u64,
+    /// Stencil cell lookups answered by grid queries (≤ 3^d per query,
+    /// empty lookups included).
+    pub grid_stencil_cells: u64,
+    /// Candidate pairs surfaced by stencil scans — the exact distance
+    /// checks the grid engine performs instead of an all-pairs scan.
+    pub grid_pairs: u64,
 }
 
 impl KernelStats {
@@ -390,6 +398,20 @@ impl KernelStats {
     /// sketch-rejected pairs, which never reach a classifier).
     pub fn classified_pairs(&self) -> u64 {
         self.run_pairs + self.indexed_pairs + self.taus_run_pairs + self.taus_indexed_pairs
+    }
+
+    /// Folds another tally into this one field-by-field — used to combine
+    /// a space's own counters with an engine's grid-side tallies.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.run_pairs += other.run_pairs;
+        self.indexed_pairs += other.indexed_pairs;
+        self.taus_run_pairs += other.taus_run_pairs;
+        self.taus_indexed_pairs += other.taus_indexed_pairs;
+        self.sketch_rejects += other.sketch_rejects;
+        self.exact_fallbacks += other.exact_fallbacks;
+        self.grid_cells += other.grid_cells;
+        self.grid_stencil_cells += other.grid_stencil_cells;
+        self.grid_pairs += other.grid_pairs;
     }
 }
 

@@ -46,12 +46,14 @@ use std::collections::HashMap;
 
 use mpc_core::common::{covering_radius, to_point_ids};
 use mpc_core::gmm::gmm;
+use mpc_core::grid::grid_k_bounded_mis;
 use mpc_core::kbmis::k_bounded_mis;
 use mpc_core::ladder::{BoundaryMode, LadderSearch, RungEval};
 use mpc_core::memo::MemoizedSpace;
-use mpc_core::Params;
+use mpc_core::{KCenterEngine, Params};
 use mpc_metric::{
-    dist_point_to_set, min_pairwise_distance, EuclideanSpace, MetricSpace, PointId, PointSet,
+    dist_point_to_set, min_pairwise_distance, EuclideanSpace, KernelStats, MetricSpace, PointId,
+    PointSet,
 };
 use mpc_sim::Cluster;
 
@@ -305,6 +307,7 @@ impl DiversityIndex {
             n_total: self.space.n(),
             max_k: self.params.coreset_k,
             params,
+            engine: KCenterEngine::from_env(self.space.points().dim()),
             kcenter_cache: HashMap::new(),
             diversity_cache: HashMap::new(),
         }
@@ -387,6 +390,44 @@ impl RungEval for UnionKCenterRungs<'_, '_> {
     }
 }
 
+/// The same descending ladder answered by the grid engine
+/// ([`grid_k_bounded_mis`]): per-rung τ-grids over the union instead of
+/// memoized all-pairs scans. Selected via `KCENTER_ENGINE` at snapshot
+/// time.
+struct UnionGridRungs<'s, 'a> {
+    space: &'a EuclideanSpace,
+    local_sets: &'s [Vec<u32>],
+    r: f64,
+    k: usize,
+    params: &'s Params,
+    stats: KernelStats,
+}
+
+impl UnionGridRungs<'_, '_> {
+    fn tau(&self, i: usize) -> f64 {
+        self.r / (1.0 + self.params.epsilon).powi(i as i32)
+    }
+}
+
+impl RungEval for UnionGridRungs<'_, '_> {
+    type Rung = Vec<u32>;
+
+    fn eval(&mut self, cluster: &mut Cluster, i: usize) -> Vec<u32> {
+        grid_k_bounded_mis(
+            cluster,
+            self.space,
+            self.local_sets,
+            self.tau(i),
+            self.k + 1,
+            &mut self.stats,
+        )
+    }
+
+    fn accept(&self, _i: usize, rung: &Vec<u32>) -> bool {
+        rung.len() <= self.k
+    }
+}
+
 /// Ascending diversity ladder over the coreset union — Algorithm 2's
 /// ladder: rung `i` is the k-bounded MIS at `τ_i = r(1+ε)^i`, accepted
 /// while it still finds k independent points.
@@ -447,6 +488,7 @@ pub struct Snapshot<'a> {
     n_total: usize,
     max_k: usize,
     params: Params,
+    engine: KCenterEngine,
     kcenter_cache: HashMap<usize, ServedKCenter>,
     diversity_cache: HashMap<usize, ServedDiversity>,
 }
@@ -472,6 +514,13 @@ impl Snapshot<'_> {
     /// Distance-memo counters for the warm query path.
     pub fn memo_stats(&self) -> mpc_core::MemoStats {
         self.memo.stats()
+    }
+
+    /// The rung-evaluation engine this snapshot's k-center queries use
+    /// (resolved from `KCENTER_ENGINE` / the union's dimension at
+    /// snapshot time).
+    pub fn engine(&self) -> KCenterEngine {
+        self.engine
     }
 
     /// Serves a k-center answer (cached per `k`). Defined on an empty
@@ -514,22 +563,42 @@ impl Snapshot<'_> {
         }
 
         let t = self.params.ladder_len(4.0, 1);
-        let mut rungs = UnionKCenterRungs {
-            memo: &self.memo,
-            local_sets: &self.local_sets,
-            r,
-            k,
-            n: self.n_total,
-            params: &self.params,
-        };
         let mut search = LadderSearch::new(t);
         search.seed(0, q);
-        let boundary = search.search(
-            &mut self.cluster,
-            &mut rungs,
-            BoundaryMode::LastAccept,
-            self.params.boundary_search,
-        );
+        let boundary = match self.engine {
+            KCenterEngine::AllPairs => {
+                let mut rungs = UnionKCenterRungs {
+                    memo: &self.memo,
+                    local_sets: &self.local_sets,
+                    r,
+                    k,
+                    n: self.n_total,
+                    params: &self.params,
+                };
+                search.search(
+                    &mut self.cluster,
+                    &mut rungs,
+                    BoundaryMode::LastAccept,
+                    self.params.boundary_search,
+                )
+            }
+            KCenterEngine::Grid => {
+                let mut rungs = UnionGridRungs {
+                    space: self.space,
+                    local_sets: &self.local_sets,
+                    r,
+                    k,
+                    params: &self.params,
+                    stats: KernelStats::default(),
+                };
+                search.search(
+                    &mut self.cluster,
+                    &mut rungs,
+                    BoundaryMode::LastAccept,
+                    self.params.boundary_search,
+                )
+            }
+        };
         let centers_raw = search.take(boundary).expect("boundary was evaluated");
         debug_assert!(centers_raw.len() <= k);
         let union_radius = covering_radius(

@@ -11,6 +11,7 @@
 //! cargo run --release --example ladder_digest
 //! ```
 
+use mpc_clustering::core::grid::mpc_kcenter_grid_on;
 use mpc_clustering::core::kcenter::mpc_kcenter_on;
 use mpc_clustering::core::Params;
 use mpc_clustering::metric::{datasets, EuclideanSpace, MetricSpace, PointId};
@@ -111,6 +112,58 @@ fn main() {
                     ks.taus_indexed_pairs,
                     ks.sketch_rejects,
                     ks.exact_fallbacks
+                );
+            }
+        }
+    }
+
+    // Grid-engine digest: the same bit-exactness contract for the spatial
+    // hashing engine. The grid ladder touches only exact f64 distances
+    // (never the SoA/sketch fast paths), so these stdout lines must be
+    // identical across `KCENTER_SPEED` tiers too — CI diffs them together
+    // with the all-pairs lines above.
+    for (n, dim, m, k, seed) in [
+        (900usize, 3usize, 4usize, 6usize, 42u64),
+        (800, 2, 8, 10, 7),
+        (700, 8, 4, 8, 21),
+    ] {
+        let space = EuclideanSpace::new(datasets::user_embeddings(n, dim, k, 0.03, 1e-3, seed));
+        let params = Params::practical(m, 0.1, seed);
+        for threads in [1usize, 2, 8] {
+            let (res, ledger) = with_threads(threads, || {
+                let mut cluster = Cluster::new(m, seed);
+                let out = mpc_kcenter_grid_on(&mut cluster, &space, k, &params);
+                (out, cluster.into_ledger())
+            });
+            let mut h = Fnv::new();
+            for r in ledger.records() {
+                h.eat(r.label.as_bytes());
+                for io in &r.per_machine {
+                    h.eat(&io.sent.to_le_bytes());
+                    h.eat(&io.received.to_le_bytes());
+                }
+            }
+            println!(
+                "engine=grid n={n} dim={dim} m={m} k={k} seed={seed} t={threads} \
+                 centers={:?} radius={:016x} coarse_r={:016x} boundary={} rounds={} \
+                 words={} peak_mem={} evals={} probes={} ledger_fnv={:016x}",
+                res.centers,
+                res.radius.to_bits(),
+                res.coarse_r.to_bits(),
+                res.boundary_index,
+                ledger.rounds(),
+                ledger.total_words(),
+                ledger.max_machine_memory(),
+                res.telemetry.ladder_evals,
+                res.telemetry.ladder_probes,
+                h.0
+            );
+            // Grid tallies on stderr: cell counts are deterministic, but
+            // only the ladder outputs above take part in the CI diff.
+            if let Some(ks) = &res.telemetry.kernels {
+                eprintln!(
+                    "  grid-kernels(t={threads}): cells={} stencil_cells={} pairs={}",
+                    ks.grid_cells, ks.grid_stencil_cells, ks.grid_pairs
                 );
             }
         }
