@@ -1,0 +1,65 @@
+//! E8-W Criterion benches: framing overhead of the byte-level transport.
+//!
+//! Runs the same Algorithm 5 ladder workload on the `sim` backend (direct
+//! in-memory hand-off, zero serialization) and the `loopback` backend
+//! (every collective encoded into length-prefixed frames, copied through
+//! per-machine arenas, and decoded back). The ratio of the two medians is
+//! the end-to-end cost of the wire format itself; the acceptance bar is
+//! ≤ 10% on this workload. Raw collectives are benched too, so a
+//! regression can be attributed to encode/decode versus the ladder's
+//! compute share.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_bench::workloads::Workload;
+use mpc_core::kcenter::mpc_kcenter_on;
+use mpc_core::Params;
+use mpc_sim::{Cluster, TransportKind};
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport");
+    group.sample_size(10);
+
+    // End-to-end ladder: compute-dominated, so this is the honest
+    // "what does the wire cost a real run" number.
+    for n in [500usize, 2000] {
+        let metric = Workload::Clustered.build(n, 42);
+        let params = Params::practical(8, 0.1, 42);
+        for kind in [TransportKind::Sim, TransportKind::Loopback] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ladder-{}", kind.name()), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut cluster = Cluster::with_transport(8, 42, kind);
+                        mpc_kcenter_on(&mut cluster, &metric, 10, &params)
+                    })
+                },
+            );
+        }
+    }
+
+    // Raw collective throughput: all_broadcast of per-machine id lists,
+    // serialization-dominated, isolating the codec + arena cost.
+    for items in [256usize, 4096] {
+        let contribs: Vec<Vec<u32>> = (0..8)
+            .map(|mach| (0..items as u32).map(|i| i * 8 + mach).collect())
+            .collect();
+        for kind in [TransportKind::Sim, TransportKind::Loopback] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("all-broadcast-{}", kind.name()), items),
+                &items,
+                |b, _| {
+                    b.iter(|| {
+                        let mut cluster = Cluster::with_transport(8, 42, kind);
+                        cluster.all_broadcast("bench/all_broadcast", contribs.clone(), 1)
+                    })
+                },
+            );
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

@@ -185,6 +185,7 @@ pub fn mpc_diversity_on<M: MetricSpace + ?Sized>(
         .map(|s| s.len() as u64 * metric.point_weight())
         .collect();
     cluster.note_memory_all(&input_words);
+    cluster.ship_shards("setup/shards", &local_sets, metric.point_weight());
 
     // Lines 1–3: coarse 4-approximation (r, Q).
     let coarse_started = Instant::now();
@@ -198,6 +199,7 @@ pub fn mpc_diversity_on<M: MetricSpace + ?Sized>(
         let diversity = min_pairwise_distance(metric, &subset);
         let mut telemetry = Telemetry::from_ledger(cluster.ledger());
         telemetry.phases.coarse_s = coarse_s;
+        telemetry.wire = cluster.wire_summary();
         return DiversityResult {
             subset,
             diversity,
@@ -252,6 +254,7 @@ pub fn mpc_diversity_on<M: MetricSpace + ?Sized>(
     telemetry.ladder_evals = search.evals() as u64;
     telemetry.ladder_probes = search.probes() as u64;
     telemetry.kernels = metric.kernel_stats();
+    telemetry.wire = cluster.wire_summary();
     DiversityResult {
         subset,
         diversity,

@@ -387,6 +387,7 @@ pub fn mpc_kcenter_grid_on(
         .map(|s| s.len() as u64 * space.point_weight())
         .collect();
     cluster.note_memory_all(&input_words);
+    cluster.ship_shards("setup/shards", &local_sets, space.point_weight());
 
     let coarse_started = Instant::now();
     let (q, _) = gmm_coreset(cluster, &space, &local_sets, k);
@@ -397,6 +398,7 @@ pub fn mpc_kcenter_grid_on(
         let mut telemetry = Telemetry::from_ledger(cluster.ledger());
         telemetry.phases.coarse_s = coarse_s;
         telemetry.kernels = space.kernel_stats();
+        telemetry.wire = cluster.wire_summary();
         return KCenterResult {
             centers: to_point_ids(&q),
             radius: r.max(0.0),
@@ -441,6 +443,7 @@ pub fn mpc_kcenter_grid_on(
     let mut kernels = space.kernel_stats().unwrap_or_default();
     kernels.merge(&rungs.stats);
     telemetry.kernels = Some(kernels);
+    telemetry.wire = cluster.wire_summary();
     KCenterResult {
         centers: to_point_ids(&centers_raw),
         radius,

@@ -132,6 +132,10 @@ pub fn mpc_kcenter_on<M: MetricSpace + ?Sized>(
         .map(|s| s.len() as u64 * metric.point_weight())
         .collect();
     cluster.note_memory_all(&input_words);
+    // Setup plane: distribute the per-machine shards through the transport
+    // (resident on workers under the process backend). Never touches the
+    // ledger, so round/word counts stay identical across backends.
+    cluster.ship_shards("setup/shards", &local_sets, metric.point_weight());
 
     // Lines 1–2: Q = GMM(∪ GMM(V_i)).
     let coarse_started = Instant::now();
@@ -147,6 +151,7 @@ pub fn mpc_kcenter_on<M: MetricSpace + ?Sized>(
         let mut telemetry = Telemetry::from_ledger(cluster.ledger());
         telemetry.phases.coarse_s = coarse_s;
         telemetry.kernels = metric.kernel_stats();
+        telemetry.wire = cluster.wire_summary();
         return KCenterResult {
             centers: to_point_ids(&q),
             radius: r.max(0.0),
@@ -202,6 +207,7 @@ pub fn mpc_kcenter_on<M: MetricSpace + ?Sized>(
     telemetry.ladder_probes = search.probes() as u64;
     telemetry.memo = Some(memo.stats());
     telemetry.kernels = metric.kernel_stats();
+    telemetry.wire = cluster.wire_summary();
     KCenterResult {
         centers: to_point_ids(&centers_raw),
         radius,

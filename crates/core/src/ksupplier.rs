@@ -186,6 +186,7 @@ pub fn mpc_ksupplier_on<M: MetricSpace + ?Sized>(
         sel.truncate(k);
         let mut telemetry = Telemetry::from_ledger(cluster.ledger());
         telemetry.phases.coarse_s = coarse_s;
+        telemetry.wire = cluster.wire_summary();
         return KSupplierResult {
             suppliers: to_point_ids(&sel),
             radius: 0.0,
@@ -249,6 +250,7 @@ pub fn mpc_ksupplier_on<M: MetricSpace + ?Sized>(
     telemetry.ladder_evals = search.evals() as u64;
     telemetry.ladder_probes = search.probes() as u64;
     telemetry.kernels = metric.kernel_stats();
+    telemetry.wire = cluster.wire_summary();
     KSupplierResult {
         suppliers: to_point_ids(&sel),
         radius,

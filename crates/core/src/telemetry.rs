@@ -1,7 +1,7 @@
 //! Execution summaries extracted from the simulator ledger.
 
 use mpc_metric::KernelStats;
-use mpc_sim::Ledger;
+use mpc_sim::{Ledger, WireSummary};
 
 use crate::memo::MemoStats;
 
@@ -64,6 +64,13 @@ pub struct Telemetry {
     /// delta against a snapshot taken at its start. Local-compute
     /// observability only, like `memo`.
     pub kernels: Option<KernelStats>,
+    /// Transport wire measurements: per-run byte totals plus
+    /// encode/decode/transit wall-clock, stamped by drivers from
+    /// [`mpc_sim::Cluster::wire_summary`]. `None` on the `sim` backend,
+    /// which moves no bytes. Like `phases`, the time fields are host
+    /// wall-clock and outside every determinism contract; the byte fields
+    /// equal `8 ×` the corresponding ledger words when conformant.
+    pub wire: Option<WireSummary>,
 }
 
 impl Telemetry {
@@ -81,6 +88,7 @@ impl Telemetry {
             ladder_probes: 0,
             memo: None,
             kernels: None,
+            wire: None,
         }
     }
 
@@ -98,6 +106,7 @@ impl Telemetry {
             ladder_probes: 0,
             memo: None,
             kernels: None,
+            wire: None,
         }
     }
 }

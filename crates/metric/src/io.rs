@@ -1,0 +1,315 @@
+//! Dataset persistence: ann-benchmarks vector formats and the compact
+//! codec.
+//!
+//! Two interchange families, both little-endian:
+//!
+//! * **fvecs / bvecs** — the TEXMEX / ann-benchmarks layout: each vector
+//!   is a 4-byte component count followed by that many `f32` (fvecs) or
+//!   `u8` (bvecs) components. SIFT, GIST and friends ship this way, so
+//!   the E-tables can run on real embedding workloads.
+//! * **native `.kcps`** — a [`PointSet`] serialized through the compact
+//!   [`serde`] codec behind a magic/version header. Exact (`f64` bits
+//!   round-trip), unlike fvecs whose `f32` components narrow.
+//!
+//! Readers are hostile-input safe: truncated buffers, ragged dimensions,
+//! and absurd length prefixes are errors, never panics or huge
+//! allocations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::PointSet;
+
+/// `b"KCPS"` — k-center point set, the native codec container.
+pub const POINTSET_MAGIC: u32 = u32::from_le_bytes(*b"KCPS");
+
+/// Native container version.
+pub const POINTSET_VERSION: u32 = 1;
+
+/// Malformed dataset input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Buffer ended inside a vector or header.
+    Truncated { offset: usize },
+    /// A vector's component count is zero, negative, or implausible.
+    BadDim { offset: usize, dim: i64 },
+    /// A vector's component count differs from the first vector's.
+    RaggedDim {
+        offset: usize,
+        first: usize,
+        got: usize,
+    },
+    /// The native container's magic or version is wrong.
+    BadHeader,
+    /// The native container's payload failed to decode.
+    Codec(String),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated { offset } => write!(f, "truncated at byte {offset}"),
+            Self::BadDim { offset, dim } => {
+                write!(f, "implausible dimension {dim} at byte {offset}")
+            }
+            Self::RaggedDim { offset, first, got } => {
+                write!(
+                    f,
+                    "dimension {got} at byte {offset} (first vector had {first})"
+                )
+            }
+            Self::BadHeader => write!(f, "not a KCPS container (bad magic/version)"),
+            Self::Codec(e) => write!(f, "payload decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Upper bound on accepted per-vector dimension — generous for any
+/// embedding workload, small enough that a corrupted length prefix cannot
+/// drive allocation.
+const MAX_DIM: i64 = 1 << 20;
+
+fn read_dim(bytes: &[u8], offset: usize, first: Option<usize>) -> Result<usize, FormatError> {
+    let Some(raw) = bytes.get(offset..offset + 4) else {
+        return Err(FormatError::Truncated { offset });
+    };
+    let dim = i32::from_le_bytes(raw.try_into().expect("4 bytes")) as i64;
+    if dim <= 0 || dim > MAX_DIM {
+        return Err(FormatError::BadDim { offset, dim });
+    }
+    let dim = dim as usize;
+    if let Some(first) = first {
+        if dim != first {
+            return Err(FormatError::RaggedDim {
+                offset,
+                first,
+                got: dim,
+            });
+        }
+    }
+    Ok(dim)
+}
+
+/// Parses fvecs bytes (`[d: i32][d × f32]` per vector) into a [`PointSet`]
+/// (components widened to `f64`). Empty input is an empty 1-dimensional
+/// set, mirroring the format's lack of a global header.
+pub fn parse_fvecs(bytes: &[u8]) -> Result<PointSet, FormatError> {
+    let mut data: Vec<f64> = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let d = read_dim(bytes, offset, dim)?;
+        dim = Some(d);
+        offset += 4;
+        let Some(body) = bytes.get(offset..offset + 4 * d) else {
+            return Err(FormatError::Truncated { offset });
+        };
+        for c in body.chunks_exact(4) {
+            data.push(f32::from_le_bytes(c.try_into().expect("4 bytes")) as f64);
+        }
+        offset += 4 * d;
+    }
+    Ok(PointSet::new(data, dim.unwrap_or(1)))
+}
+
+/// Parses bvecs bytes (`[d: i32][d × u8]` per vector) into a [`PointSet`].
+pub fn parse_bvecs(bytes: &[u8]) -> Result<PointSet, FormatError> {
+    let mut data: Vec<f64> = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let d = read_dim(bytes, offset, dim)?;
+        dim = Some(d);
+        offset += 4;
+        let Some(body) = bytes.get(offset..offset + d) else {
+            return Err(FormatError::Truncated { offset });
+        };
+        data.extend(body.iter().map(|&b| b as f64));
+        offset += d;
+    }
+    Ok(PointSet::new(data, dim.unwrap_or(1)))
+}
+
+/// Serializes a [`PointSet`] as fvecs bytes (components narrowed to
+/// `f32` — lossy for general `f64` data; use the native container for
+/// exact round-trips).
+pub fn to_fvecs(ps: &PointSet) -> Vec<u8> {
+    let dim = ps.dim();
+    let mut out = Vec::with_capacity(ps.len() * (4 + 4 * dim));
+    for id in ps.ids() {
+        out.extend_from_slice(&(dim as i32).to_le_bytes());
+        for &x in ps.coords(id) {
+            out.extend_from_slice(&(x as f32).to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Serializes a [`PointSet`] into the native codec container (exact).
+pub fn to_kcps(ps: &PointSet) -> Vec<u8> {
+    let mut out = Vec::new();
+    POINTSET_MAGIC.to_bytes(&mut out);
+    POINTSET_VERSION.to_bytes(&mut out);
+    ps.to_bytes(&mut out);
+    out
+}
+
+/// Parses a native codec container back into a [`PointSet`] (exact).
+pub fn parse_kcps(bytes: &[u8]) -> Result<PointSet, FormatError> {
+    let mut cursor = bytes;
+    let magic = u32::from_bytes(&mut cursor).map_err(|_| FormatError::BadHeader)?;
+    let version = u32::from_bytes(&mut cursor).map_err(|_| FormatError::BadHeader)?;
+    if magic != POINTSET_MAGIC || version != POINTSET_VERSION {
+        return Err(FormatError::BadHeader);
+    }
+    let ps = PointSet::from_bytes(&mut cursor).map_err(|e| FormatError::Codec(e.to_string()))?;
+    if !cursor.is_empty() {
+        return Err(FormatError::Codec(format!(
+            "{} trailing bytes",
+            cursor.len()
+        )));
+    }
+    Ok(ps)
+}
+
+/// Loads a dataset file by extension: `.fvecs`, `.bvecs`, or `.kcps`.
+pub fn load_dataset(path: &std::path::Path) -> Result<PointSet, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or_default();
+    let ps = match ext {
+        "fvecs" => parse_fvecs(&bytes)?,
+        "bvecs" => parse_bvecs(&bytes)?,
+        "kcps" => parse_kcps(&bytes)?,
+        other => {
+            return Err(
+                format!("unknown dataset extension {other:?} (expected fvecs|bvecs|kcps)").into(),
+            )
+        }
+    };
+    Ok(ps)
+}
+
+/// Saves a dataset by extension: `.fvecs` (lossy `f32`) or `.kcps` (exact).
+pub fn save_dataset(
+    path: &std::path::Path,
+    ps: &PointSet,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or_default();
+    let bytes = match ext {
+        "fvecs" => to_fvecs(ps),
+        "kcps" => to_kcps(ps),
+        other => {
+            return Err(format!("unknown dataset extension {other:?} (expected fvecs|kcps)").into())
+        }
+    };
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn fvecs_roundtrip_within_f32() {
+        let ps = datasets::uniform_cube(37, 5, 9);
+        let parsed = parse_fvecs(&to_fvecs(&ps)).unwrap();
+        assert_eq!(parsed.len(), 37);
+        assert_eq!(parsed.dim(), 5);
+        for id in ps.ids() {
+            for (a, b) in ps.coords(id).iter().zip(parsed.coords(id)) {
+                assert_eq!(*a as f32, *b as f32, "f32-exact round trip");
+            }
+        }
+    }
+
+    #[test]
+    fn bvecs_parses_byte_components() {
+        let mut bytes = Vec::new();
+        for v in [[0u8, 128, 255], [1, 2, 3]] {
+            bytes.extend_from_slice(&3i32.to_le_bytes());
+            bytes.extend_from_slice(&v);
+        }
+        let ps = parse_bvecs(&bytes).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.coords(crate::PointId(0)), &[0.0, 128.0, 255.0]);
+    }
+
+    #[test]
+    fn kcps_roundtrip_is_bit_exact() {
+        let mut ps = datasets::gaussian_clusters(50, 3, 4, 0.1, 3);
+        // Force awkward bit patterns through the container.
+        ps = PointSet::new(
+            ps.ids()
+                .flat_map(|id| ps.coords(id).to_vec())
+                .chain([f64::NAN, -0.0, f64::INFINITY])
+                .collect(),
+            3,
+        );
+        let back = parse_kcps(&to_kcps(&ps)).unwrap();
+        assert_eq!(back.len(), ps.len());
+        assert_eq!(back.dim(), 3);
+        for (a, b) in ps
+            .ids()
+            .flat_map(|id| ps.coords(id).to_vec())
+            .zip(back.ids().flat_map(|id| back.coords(id).to_vec()))
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_and_ragged_inputs_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&4i32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes()); // 1 of 4 components
+        assert!(matches!(
+            parse_fvecs(&bytes),
+            Err(FormatError::Truncated { .. })
+        ));
+
+        let mut ragged = Vec::new();
+        ragged.extend_from_slice(&1i32.to_le_bytes());
+        ragged.extend_from_slice(&1.0f32.to_le_bytes());
+        ragged.extend_from_slice(&2i32.to_le_bytes());
+        ragged.extend_from_slice(&1.0f32.to_le_bytes());
+        ragged.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(matches!(
+            parse_fvecs(&ragged),
+            Err(FormatError::RaggedDim { .. })
+        ));
+
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&i32::MAX.to_le_bytes());
+        assert!(matches!(
+            parse_fvecs(&hostile),
+            Err(FormatError::BadDim { .. })
+        ));
+
+        assert!(matches!(parse_kcps(b"nope"), Err(FormatError::BadHeader)));
+    }
+
+    #[test]
+    fn dataset_files_roundtrip_by_extension() {
+        let dir = std::env::temp_dir().join("kcps-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ps = datasets::uniform_cube(20, 2, 5);
+        for name in ["a.kcps", "a.fvecs"] {
+            let path = dir.join(name);
+            save_dataset(&path, &ps).unwrap();
+            let back = load_dataset(&path).unwrap();
+            assert_eq!(back.len(), 20);
+            assert_eq!(back.dim(), 2);
+        }
+        assert!(load_dataset(&dir.join("missing.csv")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

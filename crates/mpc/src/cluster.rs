@@ -5,6 +5,11 @@ use rayon::prelude::*;
 
 use crate::ledger::{Ledger, MachineIo};
 use crate::rng::machine_rng;
+use crate::transport::{
+    ship_setup, wire_round, wire_round_synthetic, Backend, Dst, TransportKind, WireMsg, WireStats,
+    WireSummary,
+};
+use crate::wire::Wire;
 
 /// A simulated MPC cluster of `m` machines.
 ///
@@ -32,6 +37,17 @@ use crate::rng::machine_rng;
 ///
 /// Machine 0 plays the paper's *central machine*.
 ///
+/// ### Transports
+///
+/// Collective *semantics* and ledger charges are identical everywhere;
+/// `KCENTER_TRANSPORT=sim|loopback|process` selects how payloads
+/// physically move (see [`crate::transport`]). On the wire backends every
+/// collective's payload is encoded into length-prefixed little-endian
+/// frames, transited (in-process copy or worker pipes), and **decoded
+/// values are what the algorithm continues with** — encode/decode
+/// asymmetry changes answers loudly instead of silently. `sim` remains
+/// the bit-exact zero-copy reference.
+///
 /// ```
 /// use mpc_sim::Cluster;
 ///
@@ -55,16 +71,25 @@ pub struct Cluster {
     m: usize,
     seed: u64,
     ledger: Ledger,
+    backend: Backend,
 }
 
 impl Cluster {
     /// A cluster of `m >= 1` machines with the given RNG seed and no
-    /// communication budget.
+    /// communication budget, on the transport named by
+    /// `KCENTER_TRANSPORT` (default: the in-memory simulator).
     pub fn new(m: usize, seed: u64) -> Self {
+        Self::with_transport(m, seed, TransportKind::from_env())
+    }
+
+    /// Like [`Cluster::new`] but with an explicit transport backend,
+    /// ignoring the environment.
+    pub fn with_transport(m: usize, seed: u64, kind: TransportKind) -> Self {
         Self {
             m,
             seed,
             ledger: Ledger::new(m),
+            backend: Backend::new(kind, m, seed),
         }
     }
 
@@ -84,6 +109,33 @@ impl Cluster {
     /// The cluster RNG seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Which transport this cluster runs on.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.backend.kind()
+    }
+
+    /// The wire backends' measurements (`None` on the sim backend, which
+    /// moves no bytes).
+    pub fn wire_stats(&self) -> Option<&WireStats> {
+        self.backend.wire_stats()
+    }
+
+    /// Serializable snapshot of [`Cluster::wire_stats`].
+    pub fn wire_summary(&self) -> Option<WireSummary> {
+        self.backend.wire_stats().map(WireStats::summary)
+    }
+
+    /// Ships per-machine shards through the transport's *setup plane*:
+    /// frames are encoded, transited, and decode-validated (workers hold
+    /// them resident on the process backend), but the [`Ledger`] is never
+    /// touched — it meters algorithm rounds, and the one-time input
+    /// distribution is the dataset load, not part of any algorithm's
+    /// round/word count. Bytes land in `WireStats::setup_bytes`.
+    pub fn ship_shards<T: Wire>(&mut self, label: &str, shards: &[Vec<T>], weight: u64) {
+        assert_eq!(shards.len(), self.m, "one shard per machine");
+        ship_setup(&mut self.backend, label, shards, weight);
     }
 
     /// Read access to the accounting ledger.
@@ -160,7 +212,7 @@ impl Cluster {
     /// every machine ends up with the full union (in machine order).
     /// One round. Machine `i` sends `|c_i| · w` words to each of the other
     /// `m − 1` machines and receives everyone else's contributions.
-    pub fn all_broadcast<T: Clone + Send + Sync>(
+    pub fn all_broadcast<T: Clone + Send + Sync + Wire>(
         &mut self,
         label: &str,
         contributions: Vec<Vec<T>>,
@@ -180,12 +232,35 @@ impl Cluster {
             })
             .collect();
         self.ledger.record_round(label, per_machine);
-        contributions.into_iter().flatten().collect()
+        if !self.backend.is_wire() {
+            return contributions.into_iter().flatten().collect();
+        }
+        // Wire path: every machine's contribution transits (each peer
+        // receives it), so the union is assembled from decoded frames.
+        // With m == 1 nothing leaves the machine and the round is empty.
+        let msgs: Vec<WireMsg<'_, T>> = if self.m > 1 {
+            contributions
+                .iter()
+                .enumerate()
+                .map(|(src, c)| WireMsg {
+                    src,
+                    dst: Dst::AllOthers,
+                    items: c,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let decoded = wire_round(&mut self.backend, self.m, label, weight, &msgs);
+        if self.m == 1 {
+            return contributions.into_iter().flatten().collect();
+        }
+        decoded.into_iter().flatten().collect()
     }
 
     /// Gather to the central machine (machine 0): returns the concatenation
     /// of all contributions in machine order. One round.
-    pub fn gather<T: Send>(
+    pub fn gather<T: Send + Wire>(
         &mut self,
         label: &str,
         contributions: Vec<Vec<T>>,
@@ -215,12 +290,38 @@ impl Cluster {
             })
             .collect();
         self.ledger.record_round(label, per_machine);
-        contributions.into_iter().flatten().collect()
+        if !self.backend.is_wire() {
+            return contributions.into_iter().flatten().collect();
+        }
+        // Wire path: machines 1.. ship to the central machine; its own
+        // share stays local (the ledger charges zero for it).
+        let msgs: Vec<WireMsg<'_, T>> = contributions
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(src, c)| WireMsg {
+                src,
+                dst: Dst::One(0),
+                items: c,
+            })
+            .collect();
+        let decoded = wire_round(&mut self.backend, self.m, label, weight, &msgs);
+        let mut out = contributions
+            .into_iter()
+            .next()
+            .expect("m >= 1 guarantees a central share");
+        for d in decoded {
+            out.extend(d);
+        }
+        out
     }
 
     /// Broadcast `count` items of the given weight from the central machine
     /// to all others. One round. The caller keeps the data (it is already
-    /// globally visible in the simulation); this records the traffic.
+    /// globally visible in the simulation); this records the traffic. On
+    /// the wire backends a synthetic frame of exactly `count × weight`
+    /// words transits (integrity-checked, never decoded), so broadcast
+    /// rounds move real bytes too.
     pub fn broadcast(&mut self, label: &str, count: usize, weight: u64) {
         let words = count as u64 * weight;
         let per_machine = (0..self.m)
@@ -239,12 +340,15 @@ impl Cluster {
             })
             .collect();
         self.ledger.record_round(label, per_machine);
+        if self.backend.is_wire() {
+            wire_round_synthetic(&mut self.backend, self.m, label, 0, count as u64, weight);
+        }
     }
 
     /// Scatter from the central machine: machine `i` receives
     /// `per_machine[i]`. One round. Returns the input unchanged (ownership
     /// transfer to the recipients).
-    pub fn scatter<T: Send>(
+    pub fn scatter<T: Send + Wire>(
         &mut self,
         label: &str,
         per_machine: Vec<Vec<T>>,
@@ -277,14 +381,37 @@ impl Cluster {
             })
             .collect();
         self.ledger.record_round(label, io);
-        per_machine
+        if !self.backend.is_wire() {
+            return per_machine;
+        }
+        // Wire path: the central machine ships each non-central share; its
+        // own share stays local.
+        let msgs: Vec<WireMsg<'_, T>> = per_machine
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(dst, c)| WireMsg {
+                src: 0,
+                dst: Dst::One(dst),
+                items: c,
+            })
+            .collect();
+        let decoded = wire_round(&mut self.backend, self.m, label, weight, &msgs);
+        let central = per_machine
+            .into_iter()
+            .next()
+            .expect("m >= 1 guarantees a central share");
+        let mut out = Vec::with_capacity(self.m);
+        out.push(central);
+        out.extend(decoded);
+        out
     }
 
     /// All-to-all personalized exchange: `msgs[src][dst]` is what machine
     /// `src` sends to machine `dst`; the result `inbox` satisfies
     /// `inbox[dst][src] == msgs[src][dst]`. One round. Self-addressed
     /// messages move no words.
-    pub fn exchange<T: Send>(
+    pub fn exchange<T: Send + Wire>(
         &mut self,
         label: &str,
         msgs: Vec<Vec<Vec<T>>>,
@@ -305,11 +432,40 @@ impl Cluster {
             }
         }
         self.ledger.record_round(label, io);
+        let decoded = if self.backend.is_wire() {
+            // Wire path: each non-empty cross pair is one frame
+            // (self-boxes and empty outboxes move nothing, matching the
+            // zero the ledger charges for them).
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            let mut wire_msgs: Vec<WireMsg<'_, T>> = Vec::new();
+            for (src, row) in msgs.iter().enumerate() {
+                for (dst, items) in row.iter().enumerate() {
+                    if src != dst && !items.is_empty() {
+                        pairs.push((src, dst));
+                        wire_msgs.push(WireMsg {
+                            src,
+                            dst: Dst::One(dst),
+                            items,
+                        });
+                    }
+                }
+            }
+            let d = wire_round(&mut self.backend, self.m, label, weight, &wire_msgs);
+            Some((pairs, d))
+        } else {
+            None
+        };
         // Transpose ownership: inbox[dst][src] = msgs[src][dst].
         let mut inbox: Vec<Vec<Vec<T>>> = (0..self.m).map(|_| Vec::with_capacity(self.m)).collect();
         for row in msgs {
             for (dst, items) in row.into_iter().enumerate() {
                 inbox[dst].push(items);
+            }
+        }
+        // Replace cross-machine boxes with the transited values.
+        if let Some((pairs, decoded)) = decoded {
+            for ((src, dst), items) in pairs.into_iter().zip(decoded) {
+                inbox[dst][src] = items;
             }
         }
         inbox
@@ -321,7 +477,7 @@ impl Cluster {
     /// would actually ship.
     pub fn reduce<T, F>(&mut self, label: &str, values: Vec<T>, weight: u64, fold: F) -> T
     where
-        T: Send,
+        T: Send + Wire,
         F: FnMut(T, T) -> T,
     {
         assert_eq!(values.len(), self.m);
@@ -339,7 +495,7 @@ impl Cluster {
     /// undercharged every non-scalar reduction).
     pub fn all_reduce<T, F>(&mut self, label: &str, values: Vec<T>, weight: u64, fold: F) -> T
     where
-        T: Send + Clone,
+        T: Send + Clone + Wire,
         F: FnMut(T, T) -> T,
     {
         let result = self.reduce(label, values, weight, fold);
@@ -491,11 +647,12 @@ mod tests {
 
     #[test]
     fn all_reduce_charges_result_broadcast_at_value_weight() {
-        // Non-scalar reduction: each contribution is a 3-word vector, so
-        // the gather charges 3 words per non-central machine AND the
-        // result broadcast ships 3 words to each non-central machine.
+        // Non-scalar reduction: each contribution is a 3-element vector —
+        // 3 data words plus its length word, 4 words on the wire — so the
+        // gather charges 4 words per non-central machine AND the result
+        // broadcast ships 4 words to each non-central machine.
         let mut c = Cluster::new(4, 0);
-        let w = 3;
+        let w = 4;
         let merged = c.all_reduce(
             "ar3",
             vec![
@@ -578,5 +735,97 @@ mod tests {
         let mut c = Cluster::with_budget(2, 0, 4);
         c.gather("big", vec![vec![], vec![0u32; 100]], 1);
         assert_eq!(c.ledger().violations().len(), 2);
+    }
+
+    /// Drives every collective once on a cluster; returns the values each
+    /// produced so backends can be compared end to end.
+    #[allow(clippy::type_complexity)]
+    fn drive_all_collectives(
+        c: &mut Cluster,
+    ) -> (
+        Vec<u32>,
+        Vec<i64>,
+        Vec<Vec<u64>>,
+        Vec<Vec<Vec<u32>>>,
+        f64,
+        u64,
+    ) {
+        let union = c.all_broadcast("t/ab", vec![vec![1u32, 2], vec![], vec![3]], 2);
+        let gathered = c.gather("t/g", vec![vec![-5i64], vec![7, 8], vec![]], 1);
+        c.broadcast("t/b", 3, 2);
+        let scattered = c.scatter("t/sc", vec![vec![10u64, 11], vec![12], vec![]], 1);
+        let inbox = c.exchange(
+            "t/x",
+            vec![
+                vec![vec![1u32], vec![2], vec![]],
+                vec![vec![], vec![3], vec![4, 5]],
+                vec![vec![6], vec![], vec![]],
+            ],
+            1,
+        );
+        let rmax = c.reduce("t/r", vec![0.5f64, -1.0, 2.25], 1, f64::max);
+        let ar = c.all_reduce("t/ar", vec![1u64, 2, 3], 1, |a, b| a + b);
+        (union, gathered, scattered, inbox, rmax, ar)
+    }
+
+    #[test]
+    fn loopback_values_and_ledger_match_sim() {
+        let mut sim = Cluster::with_transport(3, 9, TransportKind::Sim);
+        let mut lb = Cluster::with_transport(3, 9, TransportKind::Loopback);
+        let a = drive_all_collectives(&mut sim);
+        let b = drive_all_collectives(&mut lb);
+        assert_eq!(a, b, "loopback must be value-neutral");
+        sim.ledger()
+            .assert_identical(lb.ledger(), "sim vs loopback");
+        assert!(sim.wire_stats().is_none());
+        let stats = lb.wire_stats().expect("loopback measures");
+        assert_eq!(stats.conformance_violations, 0);
+        // Wire rounds align 1:1 with ledger records and carry exactly
+        // 8 bytes per charged word, per machine.
+        assert_eq!(stats.rounds.len(), lb.ledger().records().len());
+        for (wr, lr) in stats.rounds.iter().zip(lb.ledger().records()) {
+            assert_eq!(wr.label, lr.label);
+            for (bio, mio) in wr.per_machine.iter().zip(&lr.per_machine) {
+                assert_eq!(bio.sent, mio.sent * 8, "round {}", lr.label);
+                assert_eq!(bio.received, mio.received * 8, "round {}", lr.label);
+            }
+        }
+    }
+
+    #[test]
+    fn loopback_single_machine_matches_sim() {
+        let mut sim = Cluster::with_transport(1, 3, TransportKind::Sim);
+        let mut lb = Cluster::with_transport(1, 3, TransportKind::Loopback);
+        let a = sim.all_broadcast("s", vec![vec![1u32, 2]], 1);
+        let b = lb.all_broadcast("s", vec![vec![1u32, 2]], 1);
+        sim.broadcast("b", 4, 2);
+        lb.broadcast("b", 4, 2);
+        assert_eq!(a, b);
+        sim.ledger().assert_identical(lb.ledger(), "m=1");
+        let stats = lb.wire_stats().unwrap();
+        assert_eq!(stats.rounds.len(), 2, "empty rounds still align");
+        assert_eq!(stats.payload_bytes, 0);
+    }
+
+    #[test]
+    fn ship_shards_moves_bytes_off_ledger() {
+        let mut lb = Cluster::with_transport(2, 0, TransportKind::Loopback);
+        lb.ship_shards("setup", &[vec![1u32, 2, 3], vec![4, 5]], 2);
+        assert_eq!(lb.rounds(), 0, "setup plane never touches the ledger");
+        assert!(lb.ledger().records().is_empty());
+        let stats = lb.wire_stats().unwrap();
+        assert_eq!(stats.setup_bytes, 5 * 2 * 8);
+        assert_eq!(stats.payload_bytes, 0);
+    }
+
+    #[test]
+    fn wire_decoded_values_are_authoritative() {
+        // The loopback union must be assembled from decoded frames, which
+        // preserve exact bit patterns (NaN payloads included).
+        let mut lb = Cluster::with_transport(2, 0, TransportKind::Loopback);
+        let vals = lb.all_broadcast("nan", vec![vec![f64::NAN], vec![-0.0f64]], 1);
+        assert_eq!(vals.len(), 2);
+        assert_eq!(vals[0].to_bits(), f64::NAN.to_bits());
+        assert_eq!(vals[1].to_bits(), (-0.0f64).to_bits());
     }
 }

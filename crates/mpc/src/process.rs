@@ -1,0 +1,493 @@
+//! The multi-process transport: a coordinator driving `m` worker
+//! processes over stdin/stdout pipes.
+//!
+//! ### Architecture
+//!
+//! The driver (the process that built the [`crate::Cluster`]) keeps
+//! running the algorithm exactly as in the `sim` and `loopback` backends —
+//! per-machine state, `map` closures, collective semantics are untouched.
+//! What changes is the **data plane**: at setup each worker receives its
+//! machine's point shard (shipped once, held resident), and every
+//! collective's payload physically transits the worker processes as
+//! [`crate::wire`] frames:
+//!
+//! 1. **send leg** — the coordinator hands worker `i` the frames machine
+//!    `i` originates this round (with their destination lists); the worker
+//!    parses the headers, tallies its own sent bytes, and sends the frames
+//!    back up the pipe. The echoed bytes — which made a full round trip
+//!    through the process playing machine `i` — become the authoritative
+//!    payload the coordinator decodes.
+//! 2. **deliver leg** — the coordinator forwards each frame to its
+//!    destination workers; each worker tallies received bytes and replies
+//!    with an FNV-1a fingerprint of what arrived plus its per-round
+//!    `sent/received` byte counters.
+//!
+//! At the `record_round` barrier the coordinator merges the worker-side
+//! rows into [`crate::transport::WireStats`] and cross-checks them against
+//! the ledger's `MachineIo` (× 8 bytes/word): ledger accounting stays
+//! single-writer and deterministic, and any disagreement between what the
+//! ledger charged and what the workers measured is recorded as a
+//! conformance violation (it would be a transport bug, never data).
+//!
+//! Known limitation, stated plainly: workers own the data plane and the
+//! shard residency, but machine-local *compute* still runs in the
+//! coordinator's worker pool — shipping `map` closures across process
+//! boundaries needs a serializable task vocabulary, which is the named
+//! headroom in ROADMAP item 4's closure note. Wall-clock numbers from this
+//! backend measure real IPC framing, not parallel local work.
+//!
+//! ### Protocol
+//!
+//! Every message is `[op: u8][len: u32 LE][payload]`; payloads use the
+//! compact [`serde`] codec. Workers are in lockstep with the coordinator
+//! by construction (strict request/response, one exchange in flight per
+//! worker), so a protocol error is always fatal and loud.
+
+use std::io::{BufReader, Read, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use serde::{Deserialize, Serialize};
+
+use crate::wire::{FrameHeader, FRAME_HEADER_BYTES};
+
+/// Protocol version; bumped on any message-shape change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// `b"KCTW"` — k-center transport worker.
+pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"KCTW");
+
+const OP_HELLO: u8 = 1;
+const OP_SHARD: u8 = 2;
+const OP_SEND: u8 = 3;
+const OP_DELIVER: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+const OP_READY: u8 = 101;
+const OP_SHARDED: u8 = 102;
+const OP_SENT: u8 = 103;
+const OP_DELIVERED: u8 = 104;
+const OP_BYE: u8 = 105;
+
+/// Maximum accepted message payload (1 GiB) — a corrupted length prefix
+/// must not look like an allocation request.
+const MAX_MSG_BYTES: u32 = 1 << 30;
+
+fn write_msg<W: Write>(w: &mut W, op: u8, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&[op])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+fn read_msg<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> std::io::Result<u8> {
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let op = head[0];
+    let len = u32::from_le_bytes(head[1..5].try_into().expect("4 bytes"));
+    if len > MAX_MSG_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("transport message claims {len} bytes"),
+        ));
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    Ok(op)
+}
+
+fn protocol_err(context: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, context.to_string())
+}
+
+/// Resolves the worker executable: `KCENTER_WORKER_EXE` wins; otherwise
+/// look for the `mpc-clustering` binary next to (or one directory above,
+/// for `examples/`) the current executable; a binary already named
+/// `mpc-clustering` re-executes itself.
+pub fn worker_exe() -> Result<std::path::PathBuf, String> {
+    if let Ok(exe) = std::env::var("KCENTER_WORKER_EXE") {
+        let p = std::path::PathBuf::from(exe);
+        if p.is_file() {
+            return Ok(p);
+        }
+        return Err(format!("KCENTER_WORKER_EXE={} does not exist", p.display()));
+    }
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    if me
+        .file_stem()
+        .is_some_and(|s| s.to_string_lossy().starts_with("mpc-clustering"))
+    {
+        return Ok(me);
+    }
+    let name = format!("mpc-clustering{}", std::env::consts::EXE_SUFFIX);
+    for dir in [me.parent(), me.parent().and_then(|p| p.parent())]
+        .into_iter()
+        .flatten()
+    {
+        let cand = dir.join(&name);
+        if cand.is_file() {
+            return Ok(cand);
+        }
+    }
+    Err(
+        "cannot locate the worker executable for KCENTER_TRANSPORT=process: set \
+         KCENTER_WORKER_EXE to the mpc-clustering binary (it hosts the \
+         `transport-worker` entry point)"
+            .to_string(),
+    )
+}
+
+/// One spawned worker process and its pipes.
+struct Worker {
+    child: Child,
+    tx: ChildStdin,
+    rx: BufReader<ChildStdout>,
+}
+
+/// The coordinator's handle on the `m` worker processes.
+pub(crate) struct ProcessPool {
+    workers: Vec<Worker>,
+    /// Reused reply buffer — steady-state rounds allocate nothing here.
+    reply: Vec<u8>,
+    /// Reused request buffer.
+    request: Vec<u8>,
+}
+
+impl std::fmt::Debug for ProcessPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ProcessPool {
+    /// Spawns and handshakes `m` workers. Panics on any failure — a
+    /// process cluster that silently fell back to in-process simulation
+    /// would invalidate every measurement taken on it.
+    pub(crate) fn spawn(m: usize, seed: u64) -> Self {
+        let exe = worker_exe().unwrap_or_else(|e| panic!("{e}"));
+        let mut workers = Vec::with_capacity(m);
+        for machine in 0..m {
+            let mut child = Command::new(&exe)
+                .arg("transport-worker")
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn worker {machine} ({}): {e}", exe.display()));
+            let tx = child.stdin.take().expect("piped stdin");
+            let rx = BufReader::new(child.stdout.take().expect("piped stdout"));
+            workers.push(Worker { child, tx, rx });
+        }
+        let mut pool = Self {
+            workers,
+            reply: Vec::new(),
+            request: Vec::new(),
+        };
+        for machine in 0..m {
+            let mut payload = Vec::new();
+            (
+                HELLO_MAGIC,
+                PROTOCOL_VERSION,
+                machine as u64,
+                m as u64,
+                seed,
+            )
+                .to_bytes(&mut payload);
+            let echoed: u64 = pool
+                .roundtrip(machine, OP_HELLO, &payload, OP_READY)
+                .and_then(|()| {
+                    u64::from_bytes_exact(&pool.reply).map_err(|e| protocol_err(&e.to_string()))
+                })
+                .unwrap_or_else(|e| panic!("worker {machine} handshake: {e}"));
+            assert_eq!(echoed, machine as u64, "worker answered for wrong machine");
+        }
+        pool
+    }
+
+    /// One strict request/response exchange with worker `machine`; the
+    /// reply payload lands in `self.reply`.
+    fn roundtrip(
+        &mut self,
+        machine: usize,
+        op: u8,
+        payload: &[u8],
+        expect: u8,
+    ) -> std::io::Result<()> {
+        let w = &mut self.workers[machine];
+        write_msg(&mut w.tx, op, payload)?;
+        let got = read_msg(&mut w.rx, &mut self.reply)?;
+        if got != expect {
+            return Err(protocol_err(&format!(
+                "worker {machine}: expected op {expect}, got {got}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Ships worker `machine` its resident shard frame; returns the
+    /// worker-reported total resident bytes.
+    pub(crate) fn ship_shard(&mut self, machine: usize, frame: &[u8]) -> u64 {
+        self.roundtrip(machine, OP_SHARD, frame, OP_SHARDED)
+            .and_then(|()| {
+                u64::from_bytes_exact(&self.reply).map_err(|e| protocol_err(&e.to_string()))
+            })
+            .unwrap_or_else(|e| panic!("worker {machine} shard: {e}"))
+    }
+
+    /// Send leg: hands worker `machine` the frames it originates
+    /// (`frames[k] = (dsts, frame_bytes)`), receives the echoed frames
+    /// appended to `rx` (returning one range per frame, in order) plus the
+    /// worker's own sent-byte tally.
+    pub(crate) fn send_leg(
+        &mut self,
+        machine: usize,
+        label: &str,
+        frames: &[(Vec<u32>, &[u8])],
+        rx: &mut Vec<u8>,
+    ) -> (Vec<std::ops::Range<usize>>, u64, u64) {
+        self.request.clear();
+        label.to_bytes(&mut self.request);
+        (frames.len() as u64).to_bytes(&mut self.request);
+        for (dsts, bytes) in frames {
+            dsts.to_bytes(&mut self.request);
+            (bytes.len() as u64).to_bytes(&mut self.request);
+            self.request.extend_from_slice(bytes);
+        }
+        let req = std::mem::take(&mut self.request);
+        let res = self.roundtrip(machine, OP_SEND, &req, OP_SENT);
+        self.request = req;
+        res.unwrap_or_else(|e| panic!("worker {machine} send leg ({label}): {e}"));
+
+        fn parse_sent(
+            mut cursor: &[u8],
+            frames: &[(Vec<u32>, &[u8])],
+            rx: &mut Vec<u8>,
+        ) -> Result<(Vec<std::ops::Range<usize>>, u64, u64), serde::DecodeError> {
+            let n = u64::from_bytes(&mut cursor)? as usize;
+            let mut ranges = Vec::with_capacity(n);
+            let mut mismatches = 0u64;
+            for k in 0..n {
+                let len = u64::from_bytes(&mut cursor)? as usize;
+                let bytes = serde::take(&mut cursor, len)?;
+                let start = rx.len();
+                rx.extend_from_slice(bytes);
+                ranges.push(start..rx.len());
+                if k >= frames.len() || bytes != frames[k].1 {
+                    mismatches += 1;
+                }
+            }
+            let sent_bytes = u64::from_bytes(&mut cursor)?;
+            Ok((ranges, sent_bytes, mismatches))
+        }
+        parse_sent(&self.reply, frames, rx)
+            .unwrap_or_else(|e| panic!("worker {machine} SENT reply ({label}): {e}"))
+    }
+
+    /// Deliver leg: forwards `frames` (byte slices out of `rx`) to worker
+    /// `machine`; returns `(fnv, sent_bytes, received_bytes)` as measured
+    /// by the worker for this round.
+    pub(crate) fn deliver_leg(
+        &mut self,
+        machine: usize,
+        label: &str,
+        frames: &[&[u8]],
+    ) -> (u64, u64, u64) {
+        self.request.clear();
+        label.to_bytes(&mut self.request);
+        (frames.len() as u64).to_bytes(&mut self.request);
+        for bytes in frames {
+            (bytes.len() as u64).to_bytes(&mut self.request);
+            self.request.extend_from_slice(bytes);
+        }
+        let req = std::mem::take(&mut self.request);
+        let res = self.roundtrip(machine, OP_DELIVER, &req, OP_DELIVERED);
+        self.request = req;
+        res.unwrap_or_else(|e| panic!("worker {machine} deliver leg ({label}): {e}"));
+        <(u64, u64, u64)>::from_bytes_exact(&self.reply)
+            .unwrap_or_else(|e| panic!("worker {machine} DELIVERED reply ({label}): {e}"))
+    }
+}
+
+impl Drop for ProcessPool {
+    fn drop(&mut self) {
+        for (machine, w) in self.workers.iter_mut().enumerate() {
+            let _ = write_msg(&mut w.tx, OP_SHUTDOWN, &[]);
+            let mut buf = Vec::new();
+            let _ = read_msg(&mut w.rx, &mut buf); // BYE, best effort
+            if w.child.wait().is_err() {
+                let _ = w.child.kill();
+                eprintln!("transport worker {machine} did not exit cleanly");
+            }
+        }
+    }
+}
+
+/// Entry point of the `transport-worker` hidden subcommand: serve the
+/// coordinator over stdin/stdout until SHUTDOWN. Never prints to stdout
+/// outside the protocol (stderr is inherited and free-form).
+pub fn transport_worker_main() -> std::process::ExitCode {
+    match worker_loop() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("transport-worker: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn worker_loop() -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut rx = stdin.lock();
+    let mut tx = stdout.lock();
+
+    let mut machine: u64 = u64::MAX;
+    let mut shard_resident: u64 = 0;
+    let mut round_label = String::new();
+    let mut round_sent: u64 = 0;
+    let mut round_received: u64 = 0;
+
+    let mut buf: Vec<u8> = Vec::new();
+    let mut reply: Vec<u8> = Vec::new();
+    loop {
+        let op = read_msg(&mut rx, &mut buf)?;
+        reply.clear();
+        match op {
+            OP_HELLO => {
+                let (magic, version, mach, _m, _seed) =
+                    <(u32, u32, u64, u64, u64)>::from_bytes_exact(&buf)
+                        .map_err(|e| protocol_err(&e.to_string()))?;
+                if magic != HELLO_MAGIC || version != PROTOCOL_VERSION {
+                    return Err(protocol_err("bad hello magic/version"));
+                }
+                machine = mach;
+                mach.to_bytes(&mut reply);
+                write_msg(&mut tx, OP_READY, &reply)?;
+            }
+            OP_SHARD => {
+                // Validate the frame header, hold the shard resident.
+                let mut cursor = buf.as_slice();
+                FrameHeader::read(&mut cursor).map_err(|e| protocol_err(&e.to_string()))?;
+                shard_resident += buf.len() as u64;
+                shard_resident.to_bytes(&mut reply);
+                write_msg(&mut tx, OP_SHARDED, &reply)?;
+            }
+            OP_SEND => {
+                // This worker *is* machine `machine`: it originates these
+                // frames. Parse, tally sent bytes (payload × fan-out, the
+                // ledger's convention), echo the frames back up.
+                let mut cursor = buf.as_slice();
+                round_label =
+                    String::from_bytes(&mut cursor).map_err(|e| protocol_err(&e.to_string()))?;
+                round_sent = 0;
+                round_received = 0;
+                let n = u64::from_bytes(&mut cursor).map_err(|e| protocol_err(&e.to_string()))?;
+                n.to_bytes(&mut reply);
+                for _ in 0..n {
+                    let dsts = Vec::<u32>::from_bytes(&mut cursor)
+                        .map_err(|e| protocol_err(&e.to_string()))?;
+                    let len =
+                        u64::from_bytes(&mut cursor).map_err(|e| protocol_err(&e.to_string()))?;
+                    let frame = serde::take(&mut cursor, len as usize)
+                        .map_err(|e| protocol_err(&e.to_string()))?;
+                    let mut hc = frame;
+                    let header =
+                        FrameHeader::read(&mut hc).map_err(|e| protocol_err(&e.to_string()))?;
+                    debug_assert_eq!(
+                        frame.len(),
+                        FRAME_HEADER_BYTES + header.payload_len as usize
+                    );
+                    round_sent += header.payload_len as u64 * dsts.len() as u64;
+                    (frame.len() as u64).to_bytes(&mut reply);
+                    reply.extend_from_slice(frame);
+                }
+                round_sent.to_bytes(&mut reply);
+                write_msg(&mut tx, OP_SENT, &reply)?;
+            }
+            OP_DELIVER => {
+                // Frames addressed to this machine arrive; tally received
+                // payload bytes and fingerprint exactly what came in.
+                let mut cursor = buf.as_slice();
+                let label =
+                    String::from_bytes(&mut cursor).map_err(|e| protocol_err(&e.to_string()))?;
+                if label != round_label {
+                    return Err(protocol_err(&format!(
+                        "machine {machine}: deliver label {label:?} != send label {round_label:?} \
+                         (coordinator/worker desync)"
+                    )));
+                }
+                let n = u64::from_bytes(&mut cursor).map_err(|e| protocol_err(&e.to_string()))?;
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for _ in 0..n {
+                    let len =
+                        u64::from_bytes(&mut cursor).map_err(|e| protocol_err(&e.to_string()))?;
+                    let frame = serde::take(&mut cursor, len as usize)
+                        .map_err(|e| protocol_err(&e.to_string()))?;
+                    let mut hc = frame;
+                    let header =
+                        FrameHeader::read(&mut hc).map_err(|e| protocol_err(&e.to_string()))?;
+                    round_received += header.payload_len as u64;
+                    for &b in frame {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                    }
+                }
+                (h, round_sent, round_received).to_bytes(&mut reply);
+                write_msg(&mut tx, OP_DELIVERED, &reply)?;
+            }
+            OP_SHUTDOWN => {
+                write_msg(&mut tx, OP_BYE, &[])?;
+                return Ok(());
+            }
+            other => return Err(protocol_err(&format!("unknown opcode {other}"))),
+        }
+    }
+}
+
+/// Coordinator-side fingerprint matching the worker's DELIVERED hash:
+/// FNV-1a over the concatenation of the frames, in delivery order.
+pub(crate) fn frames_fnv(frames: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for f in frames {
+        for &b in *f {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::fnv64;
+
+    #[test]
+    fn msg_framing_roundtrip() {
+        let mut pipe: Vec<u8> = Vec::new();
+        write_msg(&mut pipe, OP_SEND, b"hello").unwrap();
+        let mut r = pipe.as_slice();
+        let mut buf = Vec::new();
+        assert_eq!(read_msg(&mut r, &mut buf).unwrap(), OP_SEND);
+        assert_eq!(buf, b"hello");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let mut pipe: Vec<u8> = Vec::new();
+        pipe.push(OP_SEND);
+        pipe.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = pipe.as_slice();
+        let mut buf = Vec::new();
+        assert!(read_msg(&mut r, &mut buf).is_err());
+    }
+
+    #[test]
+    fn frames_fnv_matches_streaming_definition() {
+        let a = b"abc".as_slice();
+        let b = b"de".as_slice();
+        assert_eq!(frames_fnv(&[a, b]), fnv64(b"abcde"));
+    }
+}

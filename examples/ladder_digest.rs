@@ -15,7 +15,7 @@ use mpc_clustering::core::grid::mpc_kcenter_grid_on;
 use mpc_clustering::core::kcenter::mpc_kcenter_on;
 use mpc_clustering::core::Params;
 use mpc_clustering::metric::{datasets, EuclideanSpace, MetricSpace, PointId};
-use mpc_clustering::sim::Cluster;
+use mpc_clustering::sim::{Cluster, TransportKind};
 use rayon::with_threads;
 
 /// FNV-1a over a byte stream; enough to fingerprint a ledger transcript.
@@ -210,5 +210,73 @@ fn main() {
             ks.sketch_rejects,
             ks.exact_fallbacks
         );
+    }
+
+    // Transport parity: the same ladder driven over the byte-level
+    // loopback wire (every payload encoded into frames, transited, and
+    // decoded back) must reproduce the sim reference exactly — identical
+    // centers, radius bits, and ledger transcript. Transports are pinned
+    // explicitly here, so these stdout lines are also invariant under
+    // `KCENTER_TRANSPORT` and take part in the CI digest diff. Wire byte
+    // counters and encode/decode wall-clock go to stderr only.
+    for (n, dim, m, k, seed) in [
+        (900usize, 3usize, 4usize, 6usize, 42u64),
+        (600, 3, 8, 10, 7),
+        (700, 32, 4, 8, 21),
+    ] {
+        let space = EuclideanSpace::new(datasets::gaussian_clusters(n, dim, k, 0.05, seed));
+        let params = Params::practical(m, 0.1, seed);
+        for threads in [1usize, 2, 8] {
+            let run = |kind: TransportKind| {
+                with_threads(threads, || {
+                    let mut cluster = Cluster::with_transport(m, seed, kind);
+                    let out = mpc_kcenter_on(&mut cluster, &space, k, &params);
+                    let wire = cluster.wire_summary();
+                    (out, cluster.into_ledger(), wire)
+                })
+            };
+            let (sim_res, sim_ledger, _) = run(TransportKind::Sim);
+            let (loop_res, loop_ledger, wire) = run(TransportKind::Loopback);
+            // A transcript mismatch aborts the whole digest run loudly —
+            // better than printing lines CI would diff as "clean".
+            loop_ledger.assert_identical(&sim_ledger, "loopback vs sim ladder");
+            assert_eq!(sim_res.centers, loop_res.centers, "center parity");
+            assert_eq!(
+                sim_res.radius.to_bits(),
+                loop_res.radius.to_bits(),
+                "radius bit parity"
+            );
+            let mut h = Fnv::new();
+            for r in loop_ledger.records() {
+                h.eat(r.label.as_bytes());
+                for io in &r.per_machine {
+                    h.eat(&io.sent.to_le_bytes());
+                    h.eat(&io.received.to_le_bytes());
+                }
+            }
+            let wire = wire.expect("loopback keeps wire stats");
+            println!(
+                "transport-parity n={n} dim={dim} m={m} k={k} seed={seed} t={threads} \
+                 radius={:016x} rounds={} ledger_fnv={:016x} wire_rounds={} \
+                 payload_bytes={} overhead_bytes={} setup_bytes={} violations={}",
+                loop_res.radius.to_bits(),
+                loop_ledger.rounds(),
+                h.0,
+                wire.rounds,
+                wire.payload_bytes,
+                wire.overhead_bytes,
+                wire.setup_bytes,
+                wire.conformance_violations
+            );
+            eprintln!(
+                "  wire(t={threads}): frames={} encode={:.4}s decode={:.4}s transit={:.4}s \
+                 arena_high_water={}B",
+                wire.frames,
+                wire.encode_s,
+                wire.decode_s,
+                wire.transit_s,
+                wire.arena_high_water_bytes
+            );
+        }
     }
 }

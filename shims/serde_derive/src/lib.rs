@@ -1,21 +1,195 @@
-//! Offline vendored shim for `serde_derive`: the derives expand to nothing.
+//! Offline vendored shim for `serde_derive` — **real** field-wise codec
+//! derives.
 //!
-//! The workspace only uses `#[derive(Serialize, Deserialize)]` decoratively —
-//! all on-disk formats (ledger CSV, experiment tables, bench JSON) are
-//! hand-rolled, so no code path requires a real serde implementation. The
-//! no-op expansion keeps the attribute valid while the registry is
-//! unreachable; restoring real serde needs no source change.
+//! The transport refactor (ISSUE 10) turned the `serde` shim's marker
+//! traits into a working compact byte codec, so the derives can no longer
+//! expand to nothing: `#[derive(Serialize, Deserialize)]` now emits
+//! `to_bytes`/`from_bytes` impls that encode a struct as the concatenation
+//! of its fields in declaration order (named, tuple, and unit structs).
+//!
+//! The parser is hand-rolled over `proc_macro::TokenStream` (no `syn` /
+//! `quote` in this offline environment): it skips attributes and
+//! visibility, finds the struct name, and extracts field names (named
+//! structs) or the field count (tuple structs). Field *types* are never
+//! needed — the generated `from_bytes` calls rely on inference from the
+//! struct definition, so `field: serde::Deserialize::from_bytes(input)?`
+//! resolves to the right impl.
+//!
+//! Deliberate limits, enforced with compile errors rather than silent
+//! misbehavior: no enums, no generic structs, no unions. Every derived
+//! type in this workspace is a plain struct; anything fancier should get a
+//! hand-written impl next to the type.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op stand-in for `serde_derive::Serialize`.
-#[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+/// What the input item turned out to be.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
 }
 
-/// No-op stand-in for `serde_derive::Deserialize`.
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a field-list token sequence on top-level commas (angle-bracket
+/// depth tracked so `Vec<Vec<u32>>` or `HashMap<K, V>` never split).
+fn split_fields(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut fields = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if !cur.is_empty() {
+                        fields.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        fields.push(cur);
+    }
+    fields
+}
+
+fn parse_struct(input: TokenStream, derive_name: &str) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        Some(TokenTree::Ident(id)) => panic!(
+            "#[derive({derive_name})] shim supports only structs, found `{id}`; \
+             write the impl by hand for enums/unions"
+        ),
+        other => panic!("#[derive({derive_name})] shim: expected `struct`, found {other:?}"),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("#[derive({derive_name})] shim: expected struct name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "#[derive({derive_name})] shim supports only non-generic structs; \
+                 `{name}` is generic — write the impl by hand"
+            );
+        }
+    }
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let names = split_fields(&inner)
+                .iter()
+                .map(|field| {
+                    let j = skip_attrs_and_vis(field, 0);
+                    match field.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!(
+                            "#[derive({derive_name})] shim: expected field name in \
+                             `{name}`, found {other:?}"
+                        ),
+                    }
+                })
+                .collect();
+            Shape::Named(names)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Tuple(split_fields(&inner).len())
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!(
+            "#[derive({derive_name})] shim: expected struct body for `{name}`, found {other:?}"
+        ),
+    };
+    Parsed { name, shape }
+}
+
+/// Real `Serialize` derive: fields encode in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse_struct(input, "Serialize");
+    let body = match &p.shape {
+        Shape::Named(fields) => fields
+            .iter()
+            .map(|f| format!("serde::Serialize::to_bytes(&self.{f}, out);"))
+            .collect::<String>(),
+        Shape::Tuple(n) => (0..*n)
+            .map(|i| format!("serde::Serialize::to_bytes(&self.{i}, out);"))
+            .collect::<String>(),
+        Shape::Unit => String::new(),
+    };
+    let name = &p.name;
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+           fn to_bytes(&self, out: &mut Vec<u8>) {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Real `Deserialize` derive: fields decode in declaration order; the
+/// field types drive inference, so no type tokens are needed here.
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse_struct(input, "Deserialize");
+    let ctor = match &p.shape {
+        Shape::Named(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::from_bytes(input)?,"))
+                .collect::<String>();
+            format!("Self {{ {inits} }}")
+        }
+        Shape::Tuple(n) => {
+            let inits = (0..*n)
+                .map(|_| "serde::Deserialize::from_bytes(input)?,".to_string())
+                .collect::<String>();
+            format!("Self({inits})")
+        }
+        Shape::Unit => "Self".to_string(),
+    };
+    let name = &p.name;
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+           fn from_bytes(input: &mut &[u8]) -> Result<Self, serde::DecodeError> {{\n\
+             Ok({ctor})\n\
+           }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
 }

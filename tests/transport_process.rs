@@ -1,0 +1,94 @@
+//! End-to-end test of the multi-process transport: the coordinator spawns
+//! real worker processes (this crate's own binary via
+//! `CARGO_BIN_EXE_mpc-clustering`), ships every collective's frames over
+//! pipes, and the full Algorithm 5 pipeline must land on exactly the same
+//! answer as the in-memory reference — with zero wire-conformance
+//! violations.
+//!
+//! All scenarios live in one `#[test]` because transport selection is
+//! process-global environment state (`KCENTER_TRANSPORT`,
+//! `KCENTER_WORKER_EXE`) and Rust runs tests in threads.
+
+use mpc_clustering::core::{diversity, kcenter, Params};
+use mpc_clustering::metric::{datasets, EuclideanSpace};
+use mpc_clustering::sim::{Cluster, TransportKind};
+
+fn digest(res: &kcenter::KCenterResult) -> (Vec<u32>, u64, u64, u64, u64) {
+    (
+        res.centers.iter().map(|c| c.0).collect(),
+        res.radius.to_bits(),
+        res.telemetry.rounds,
+        res.telemetry.max_machine_words,
+        res.telemetry.total_words,
+    )
+}
+
+#[test]
+fn process_backend_matches_sim_end_to_end() {
+    // SAFETY-by-construction: this is the only test in this binary that
+    // touches these variables, and it sets them before any Cluster exists.
+    std::env::set_var("KCENTER_WORKER_EXE", env!("CARGO_BIN_EXE_mpc-clustering"));
+    std::env::remove_var("KCENTER_TRANSPORT");
+
+    // Collective-level smoke: real worker processes carry the frames and
+    // their tallies must agree with the ledger exactly.
+    {
+        let mut c = Cluster::with_transport(4, 11, TransportKind::Process);
+        let contribs: Vec<Vec<u32>> = (0..4).map(|i| vec![i as u32, 10 + i as u32]).collect();
+        let union = c.all_broadcast("e2e/all_broadcast", contribs.clone(), 2);
+        assert_eq!(union, vec![0, 10, 1, 11, 2, 12, 3, 13]);
+        let gathered = c.gather("e2e/gather", contribs, 1);
+        assert_eq!(gathered.len(), 8);
+        let stats = c.wire_stats().expect("process backend keeps stats");
+        assert_eq!(stats.conformance_violations, 0);
+        assert_eq!(stats.rounds.len(), c.ledger().records().len());
+        for (wr, rec) in stats.rounds.iter().zip(c.ledger().records()) {
+            for (bio, mio) in wr.per_machine.iter().zip(&rec.per_machine) {
+                assert_eq!(
+                    bio.sent,
+                    mio.sent * 8,
+                    "bytes == 8 x words in {}",
+                    rec.label
+                );
+                assert_eq!(bio.received, mio.received * 8);
+            }
+        }
+    }
+
+    // Full Algorithm 5 pipeline (coarse estimate + τ-ladder + finalize)
+    // on both backends; the process run must be answer- and
+    // ledger-identical to sim.
+    let metric = EuclideanSpace::new(datasets::gaussian_clusters(600, 3, 6, 0.05, 42));
+    let params = Params::practical(4, 0.1, 42);
+
+    std::env::set_var("KCENTER_TRANSPORT", "sim");
+    let sim_kc = kcenter::mpc_kcenter(&metric, 6, &params);
+    let sim_dv = diversity::mpc_diversity(&metric, 6, &params);
+    assert!(sim_kc.telemetry.wire.is_none(), "sim moves no bytes");
+
+    std::env::set_var("KCENTER_TRANSPORT", "process");
+    let proc_kc = kcenter::mpc_kcenter(&metric, 6, &params);
+    let proc_dv = diversity::mpc_diversity(&metric, 6, &params);
+    std::env::remove_var("KCENTER_TRANSPORT");
+
+    assert_eq!(digest(&sim_kc), digest(&proc_kc), "Alg 5 digest parity");
+    assert_eq!(sim_dv.subset, proc_dv.subset, "diversity subset parity");
+    assert_eq!(sim_dv.diversity.to_bits(), proc_dv.diversity.to_bits());
+
+    let wire = proc_kc
+        .telemetry
+        .wire
+        .as_ref()
+        .expect("process backend stamps wire telemetry");
+    assert_eq!(wire.backend, "process");
+    assert_eq!(
+        wire.conformance_violations, 0,
+        "zero conformance violations"
+    );
+    assert_eq!(
+        wire.rounds, proc_kc.telemetry.rounds,
+        "wire rounds == ledger rounds"
+    );
+    assert!(wire.payload_bytes > 0, "frames physically moved");
+    assert!(wire.setup_bytes > 0, "shards shipped at setup");
+}
